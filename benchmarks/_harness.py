@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Results are
+printed and also written under ``benchmarks/results/`` so EXPERIMENTS.md can
+be checked against fresh runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+__all__ = ["emit", "RESULTS_DIR"]
+
+
+def emit(name: str, text: str) -> None:
+    """Print ``text`` and persist it to ``benchmarks/results/<name>.txt``."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

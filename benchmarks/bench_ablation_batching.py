@@ -1,0 +1,100 @@
+"""Ablation E — batch prompting (cost optimization).
+
+Lingua Manga's "Highly Performant" property is about minimising LLM service
+calls.  Besides caching and the simulator, packing several record pairs into
+one prompt amortises the instruction preamble.  This benchmark sweeps the
+batch size on the beer matching workload: accuracy must be identical (the
+verdicts are the same judgements), while calls and cost fall steeply.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dsl.builder import PipelineBuilder
+from repro.core.runtime.system import LinguaManga
+from repro.datasets.entity_resolution import generate_er_dataset
+from repro.ml.metrics import f1_score
+from repro.tasks.entity_resolution import pairs_as_inputs, pick_examples
+
+from _harness import emit
+
+BATCH_SIZES = (1, 5, 10, 25)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    dataset = generate_er_dataset("beer")
+    examples = pick_examples(dataset.train, 4)
+    y_true = [p.label for p in dataset.test]
+    rows = []
+    for batch_size in BATCH_SIZES:
+        system = LinguaManga()
+        if batch_size == 1:
+            pipeline = (
+                PipelineBuilder("single")
+                .load(source="pairs")
+                .match_entities(impl="llm", examples=examples)
+                .save(key="v")
+                .build()
+            )
+        else:
+            pipeline = (
+                PipelineBuilder(f"batch{batch_size}")
+                .load(source="pairs")
+                .match_entities(impl="llm_batch", batch_size=batch_size, examples=examples)
+                .save(key="v")
+                .build()
+            )
+        report = system.run(pipeline, {"pairs": pairs_as_inputs(dataset.test)})
+        verdicts = [int(bool(v)) for v in next(iter(report.outputs.values()))]
+        usage = system.usage()
+        rows.append(
+            {
+                "batch": batch_size,
+                "f1": 100 * f1_score(y_true, verdicts),
+                "calls": usage.served_calls,
+                "tokens": usage.prompt_tokens + usage.completion_tokens,
+                "cost": usage.cost,
+            }
+        )
+    return rows
+
+
+def test_ablation_batching(sweep, benchmark):
+    lines = [f"{'batch':>6s} {'F1':>7s} {'calls':>6s} {'tokens':>8s} {'cost':>9s}"]
+    for row in sweep:
+        lines.append(
+            f"{row['batch']:6d} {row['f1']:7.2f} {row['calls']:6d} "
+            f"{row['tokens']:8d} ${row['cost']:.4f}"
+        )
+    emit("ablation_batching", "\n".join(lines))
+
+    # Accuracy is invariant under batching (same judgements, packed).
+    f1s = {round(row["f1"], 2) for row in sweep}
+    assert len(f1s) == 1
+    # Calls and cost fall monotonically with batch size.
+    calls = [row["calls"] for row in sweep]
+    costs = [row["cost"] for row in sweep]
+    assert calls == sorted(calls, reverse=True)
+    assert costs == sorted(costs, reverse=True)
+    # Batching 25 pairs cuts cost by at least 3x.
+    assert sweep[0]["cost"] / sweep[-1]["cost"] > 3
+
+    # Benchmark one batched call over 25 pairs.
+    dataset = generate_er_dataset("beer", n_entities=150)
+    examples = pick_examples(dataset.train, 2)
+    pipeline = (
+        PipelineBuilder("b")
+        .load(source="pairs")
+        .match_entities(impl="llm_batch", batch_size=25, examples=examples)
+        .save(key="v")
+        .build()
+    )
+    inputs = {"pairs": pairs_as_inputs(dataset.test[:25])}
+
+    def run_batch():
+        return LinguaManga().run(pipeline, inputs)
+
+    report = benchmark(run_batch)
+    assert len(next(iter(report.outputs.values()))) == 25

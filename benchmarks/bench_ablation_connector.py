@@ -1,0 +1,176 @@
+"""Ablation C — the connector's selective data upload (section 3.2).
+
+Compares three ways to let an LLM answer NL questions about a table:
+
+- **full upload** — serialise rows into the prompt (capped by a prompt
+  budget) and let the model compute; on tables larger than the budget the
+  answers silently go wrong, and every uploaded cell is exposed.
+- **schema only** — upload nothing but the schema; without the connector
+  the model cannot execute SQL, so it cannot answer data questions at all.
+- **connector** — the model writes SQL from the schema, the connector runs
+  it locally under a SELECT-only policy; answers stay exact and only result
+  rows are exposed.
+
+Expected shape: connector accuracy ~100% with minimal exposure; full upload
+exposes everything and loses accuracy once the table exceeds the prompt
+budget; schema-only exposes nothing but answers nothing.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro._util import seeded_rng
+from repro.core.optimizer.connector import TabularConnector
+from repro.core.runtime.system import LinguaManga
+from repro.storage.table import Table
+
+from _harness import emit
+
+PROMPT_ROW_BUDGET = 40  # rows that fit into the full-upload prompt
+TABLE_SIZES = (20, 100, 400)
+
+
+def make_table(n_rows: int) -> Table:
+    rng = seeded_rng(f"connector-{n_rows}")
+    return Table.from_records(
+        "products",
+        [
+            {
+                "id": i,
+                "name": f"item {i}",
+                "price": round(rng.uniform(5, 200), 2),
+                "stock": rng.randrange(0, 50),
+            }
+            for i in range(n_rows)
+        ],
+    )
+
+
+def questions_and_answers(table: Table):
+    prices = table.column("price")
+    over_100 = sum(1 for p in prices if p > 100)
+    return [
+        ("How many products have price over 100?", float(over_100)),
+        ("What is the average of price?", sum(prices) / len(prices)),
+        ("What is the highest price?", max(prices)),
+    ]
+
+
+def _first_number(text: str) -> float | None:
+    import re
+
+    match = re.search(r"-?\d+(?:\.\d+)?", text)
+    return float(match.group()) if match else None
+
+
+def run_full_upload(system: LinguaManga, table: Table) -> tuple[float, int]:
+    """Rows in the prompt (truncated at the budget); accuracy + exposure."""
+    visible_rows = table.records()[:PROMPT_ROW_BUDGET]
+    exposure = len(visible_rows) * len(table.schema)
+    payload = json.dumps(visible_rows)
+    correct = 0
+    qa = questions_and_answers(table)
+    for question, expected in qa:
+        response = system.service.complete(
+            f"Answer the question from the table rows.\nRows: {payload}\n"
+            f"Question: {question}",
+            purpose="full-upload",
+        )
+        value = _first_number(response)
+        if value is not None and abs(value - expected) < max(0.01 * abs(expected), 0.01):
+            correct += 1
+    return correct / len(qa), exposure
+
+
+def run_schema_only(system: LinguaManga, table: Table) -> tuple[float, int]:
+    """Only the schema goes up; the model has no data to compute from."""
+    schema = f"TABLE {table.name} (" + ", ".join(
+        f"{c.name} {c.type}" for c in table.schema.columns
+    ) + ")"
+    correct = 0
+    qa = questions_and_answers(table)
+    for question, expected in qa:
+        response = system.service.complete(
+            f"Schema: {schema}\nQuestion: {question}\nAnswer the question.",
+            purpose="schema-only",
+        )
+        value = _first_number(response)
+        if value is not None and abs(value - expected) < max(0.01 * abs(expected), 0.01):
+            correct += 1
+    return correct / len(qa), 0
+
+
+def run_connector(system: LinguaManga, table: Table) -> tuple[float, int]:
+    """The connector path: schema -> LLM SQL -> local execution."""
+    system.register_table(table)
+    connector = TabularConnector(system.database, system.service, max_result_rows=5)
+    correct = 0
+    qa = questions_and_answers(table)
+    for question, expected in qa:
+        answer = connector.ask(question)
+        record = answer.result.record(0) if len(answer.result) else {}
+        values = [v for v in record.values() if isinstance(v, (int, float))]
+        if any(abs(v - expected) < max(0.01 * abs(expected), 0.01) for v in values):
+            correct += 1
+    return correct / len(qa), connector.report.values_uploaded
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    for n_rows in TABLE_SIZES:
+        table = make_table(n_rows)
+        for mode, runner in (
+            ("full_upload", run_full_upload),
+            ("schema_only", run_schema_only),
+            ("connector", run_connector),
+        ):
+            accuracy, exposure = runner(LinguaManga(), table.copy())
+            rows.append(
+                {
+                    "rows": n_rows,
+                    "mode": mode,
+                    "accuracy": 100 * accuracy,
+                    "values_exposed": exposure,
+                }
+            )
+    return rows
+
+
+def test_ablation_connector(sweep, benchmark):
+    lines = [f"{'table rows':>10s} {'mode':>12s} {'accuracy':>9s} {'exposed':>8s}"]
+    for row in sweep:
+        lines.append(
+            f"{row['rows']:10d} {row['mode']:>12s} {row['accuracy']:8.1f}% "
+            f"{row['values_exposed']:8d}"
+        )
+    emit("ablation_connector", "\n".join(lines))
+
+    by_key = {(r["rows"], r["mode"]): r for r in sweep}
+    for n_rows in TABLE_SIZES:
+        connector = by_key[(n_rows, "connector")]
+        full = by_key[(n_rows, "full_upload")]
+        schema = by_key[(n_rows, "schema_only")]
+        # The connector is always exact and minimally exposed.
+        assert connector["accuracy"] == 100.0
+        assert connector["values_exposed"] < full["values_exposed"] or n_rows <= PROMPT_ROW_BUDGET
+        # Schema-only cannot answer data questions.
+        assert schema["accuracy"] == 0.0
+    # Full upload collapses once the table exceeds the prompt budget.
+    assert by_key[(20, "full_upload")]["accuracy"] == 100.0
+    assert by_key[(400, "full_upload")]["accuracy"] < 50.0
+
+    # Benchmark: one connector round trip.
+    table = make_table(100)
+
+    def ask_once():
+        system = LinguaManga()
+        system.register_table(table.copy())
+        connector = TabularConnector(system.database, system.service)
+        return connector.ask("How many products have price over 100?").result
+
+    result = benchmark(ask_once)
+    assert len(result) == 1

@@ -1,0 +1,36 @@
+"""Figure 5 — the Lingua Manga user interface.
+
+Renders the full UI screen (pipeline canvas + module inspector + run log +
+usage footer) for the name-extraction demo — the exact view the paper's
+Figure 5 shows — and benchmarks the render path.
+"""
+
+from __future__ import annotations
+
+from repro.core.runtime.system import LinguaManga
+from repro.core.templates.library import get_template
+from repro.ui.views import render_screen
+
+from _harness import emit
+
+
+def test_fig5_ui(benchmark):
+    system = LinguaManga()
+    pipeline = get_template("name_extraction").instantiate()
+    plan = system.compile(pipeline)
+    report = plan.execute(
+        {"documents": [{"text": "Yesterday John Smith met Anna Schmidt in Boston."}]}
+    )
+    tag_operator = next(
+        op.name for op in pipeline.operators if op.kind == "tag_names"
+    )
+    screen = render_screen(plan, report, inspect=tag_operator)
+    emit("fig5_ui", screen)
+
+    assert "pipeline: name_extraction_template" in screen
+    assert f"module: {tag_operator}" in screen
+    assert "run log" in screen
+    assert "LLM usage" in screen
+
+    rendered = benchmark(lambda: render_screen(plan, report, inspect=tag_operator))
+    assert len(rendered) > 500

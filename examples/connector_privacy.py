@@ -1,0 +1,54 @@
+"""The optimizer's connector: answer table questions without uploading data.
+
+The LLM sees only the schema; it writes SQL, the connector validates the
+statement against a SELECT-only policy and executes it locally, and only
+(capped) result rows ever leave the database.  Exposure accounting shows
+how little of the table the LLM touched.
+
+Run with:  python examples/connector_privacy.py
+"""
+
+from repro import LinguaManga
+from repro.core.optimizer.connector import ConnectorPolicyError
+from repro.storage import Table
+
+
+def main() -> None:
+    system = LinguaManga()
+    table = Table.from_records(
+        "products",
+        [
+            {"id": 1, "name": "Walkman NW-1", "price": 89.0, "stock": 12},
+            {"id": 2, "name": "Xbox Controller", "price": 49.0, "stock": 120},
+            {"id": 3, "name": "PowerShot A40", "price": 199.0, "stock": 4},
+            {"id": 4, "name": "ThinkPad Dock", "price": 129.0, "stock": 33},
+            {"id": 5, "name": "Zen Micro", "price": 159.0, "stock": 0},
+        ],
+    )
+    system.register_table(table)
+    connector = system.connector(max_result_rows=5)
+
+    for question in (
+        "How many products have price over 100?",
+        "What is the average of price?",
+        "Which product has the highest price?",
+    ):
+        answer = connector.ask(question)
+        print(f"Q: {question}")
+        print(f"   SQL: {answer.sql}")
+        print("   " + answer.result.to_text().replace("\n", "\n   "))
+        print(f"   values exposed to the LLM: {answer.values_exposed}\n")
+
+    # The policy blocks anything but SELECT.
+    try:
+        connector.run_user_sql("DELETE FROM products")
+    except ConnectorPolicyError as error:
+        print(f"policy blocked: {error}")
+
+    print("\nexposure report:", connector.report.to_text())
+    total_values = len(table) * len(table.schema)
+    print(f"table holds {total_values} values; full upload would expose all of them.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Section 4.3 — Data Imputation: Excellency with the Experts.
+
+An expert programmer optimizes manufacturer imputation on a Buy-like
+dataset.  Comprehensive guidelines turn the LLMGC module into a hybrid:
+cheap string rules resolve products that mention their brand; only the
+hard, world-knowledge cases escalate to the LLM — achieving comparable
+accuracy to a pure LLM module with roughly 1/6 of the LLM calls.
+
+Run with:  python examples/data_imputation_expert.py
+"""
+
+from repro import LinguaManga
+from repro.core.optimizer.cost import CostComparison, CostSnapshot
+from repro.datasets import generate_buy_dataset
+from repro.tasks import run_hybrid_imputation, run_llm_imputation
+
+
+def main() -> None:
+    buy = generate_buy_dataset(n_test=300)
+    print(buy.summary(), "\n")
+
+    system = LinguaManga()
+
+    pure = run_llm_imputation(system, buy.test)
+    print(
+        f"pure LLM module:   accuracy={100 * pure.accuracy:.2f}%  "
+        f"llm_calls={pure.llm_calls}  cost=${pure.cost:.4f}"
+    )
+
+    hybrid = run_hybrid_imputation(system, buy.test)
+    print(
+        f"optimized hybrid:  accuracy={100 * hybrid.accuracy:.2f}%  "
+        f"llm_calls={hybrid.llm_calls}  cost=${hybrid.cost:.4f}"
+    )
+
+    comparison = CostComparison(
+        baseline_name="pure_llm",
+        baseline=CostSnapshot(pure.llm_calls, 0, pure.cost, 0.0),
+        optimized_name="hybrid",
+        optimized=CostSnapshot(hybrid.llm_calls, 0, hybrid.cost, 0.0),
+    )
+    print("\n" + comparison.to_text())
+    print(
+        "\npaper: optimized version uses 1/6 the LLM calls of the pure LLM "
+        "module (94.48% vs 93.92% accuracy)"
+    )
+
+
+if __name__ == "__main__":
+    main()

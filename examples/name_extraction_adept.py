@@ -1,0 +1,48 @@
+"""Section 4.2 — Name Extraction: Flexible for the Adepts.
+
+A low-code domain expert builds the Figure 3 pipeline (tokenize ->
+noun-phrase extraction [LLMGC] -> tagging [LLM + validator]), discovers the
+multilingual degradation, fixes it with a language-detection module, and
+then attaches the optimizer's simulator to slash LLM costs.
+
+Run with:  python examples/name_extraction_adept.py
+"""
+
+from repro import LinguaManga
+from repro.datasets import generate_name_dataset
+from repro.tasks import run_name_extraction
+
+
+def main() -> None:
+    documents = generate_name_dataset(n_documents=120).documents
+    print(f"corpus: {len(documents)} multilingual sentences\n")
+
+    # First attempt: the monolingual pipeline. Accuracy craters on the
+    # non-English portion of the corpus.
+    system = LinguaManga()
+    mono = run_name_extraction(system, documents, multilingual=False)
+    print(f"monolingual pipeline:   F1={100 * mono.f1:.1f}  calls={mono.llm_calls}")
+    for language, f1 in sorted(mono.per_language_f1.items()):
+        print(f"    {language}: F1={100 * f1:.1f}")
+
+    # The fix: insert an LLM language-detection module so the tagger gets a
+    # language hint (and the LLMGC chunker its multilingual tools).
+    multi = run_name_extraction(system, documents, multilingual=True)
+    print(f"\n+ language detection:   F1={100 * multi.f1:.1f}  calls={multi.llm_calls}")
+    for language, f1 in sorted(multi.per_language_f1.items()):
+        print(f"    {language}: F1={100 * f1:.1f}")
+
+    # Cost optimization: the simulator shadows the LLM tagger and takes
+    # over once its student model is confident.
+    simulated = run_name_extraction(
+        system, documents, multilingual=True, simulate_tagging=True
+    )
+    print(
+        f"\n+ simulator:            F1={100 * simulated.f1:.1f}  "
+        f"calls={simulated.llm_calls} "
+        f"({100 * (1 - simulated.llm_calls / max(multi.llm_calls, 1)):.0f}% fewer LLM calls)"
+    )
+
+
+if __name__ == "__main__":
+    main()

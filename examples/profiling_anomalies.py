@@ -1,0 +1,50 @@
+"""Profiling, anomaly detection, and SQL over your own LLM spend.
+
+Two of the "extra tasks" the paper's introduction says real curation
+processes involve — anomaly detection and data summarization — plus a
+bonus: the LLM service's call ledger is itself a table you can query.
+
+Run with:  python examples/profiling_anomalies.py
+"""
+
+from repro import LinguaManga
+from repro._util import seeded_rng
+from repro.storage import Table
+from repro.tasks import detect_anomalies, profile_table, summarize_table
+
+
+def main() -> None:
+    system = LinguaManga()
+    rng = seeded_rng("profiling-demo")
+
+    # A sensor feed with a stuck reading, a spike, and a typo'd status.
+    rows = [
+        {"sensor": f"s{i % 4}", "reading": round(20 + rng.gauss(0, 1.5), 2),
+         "status": "nominal"}
+        for i in range(60)
+    ]
+    rows[17]["reading"] = 412.0          # spike
+    rows[31]["status"] = "nominnal"      # typo'd category
+    table = Table.from_records("sensor_feed", rows)
+    system.register_table(table)
+
+    print(profile_table(table).to_text())
+
+    print("\nanomalies:")
+    for anomaly in detect_anomalies(table):
+        print(" ", anomaly.describe())
+
+    print("\nsummary:", summarize_table(table, system.service))
+
+    # The LLM ledger is a table too — query your spend with SQL.
+    system.database.register(system.service.ledger_table())
+    report = system.database.query(
+        "SELECT purpose, COUNT(*) AS calls, SUM(cost) AS cost "
+        "FROM llm_ledger GROUP BY purpose"
+    )
+    print("\nLLM spend by purpose:")
+    print(report.to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Quickstart: build, compile and run a Lingua Manga pipeline in a minute.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import LinguaManga
+from repro.core import explain_pipeline
+
+
+def main() -> None:
+    system = LinguaManga()
+
+    # 1. Search for a template by describing your problem in plain language.
+    hits = system.search_templates("find duplicate records that are the same entity")
+    template = hits[0][0]
+    print(f"best template: {template.name} — {template.description}\n")
+
+    # 2. Instantiate it (optionally with a few labelled examples).
+    pipeline = template.instantiate()
+    print(explain_pipeline(pipeline), "\n")
+
+    # 3. Run it on your data.
+    pairs = [
+        {
+            "left": {"name": "Stone IPA", "brewery": "Stone Brewing Co."},
+            "right": {"name": "Stone India Pale Ale", "brewery": "Stone Brewery"},
+        },
+        {
+            "left": {"name": "Old Monk Porter", "brewery": "Bells Brewery"},
+            "right": {"name": "Lucky Otter Pilsner", "brewery": "Avery Brewing Co."},
+        },
+    ]
+    report = system.run(pipeline, {"pairs": pairs})
+    verdicts = next(iter(report.outputs.values()))
+    for pair, verdict in zip(pairs, verdicts):
+        left, right = pair["left"]["name"], pair["right"]["name"]
+        print(f"{left!r} vs {right!r} -> {'MATCH' if verdict else 'different'}")
+
+    # 4. Check what the run cost.
+    print("\n" + system.usage().to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""End-to-end curation over raw tables: discovery -> blocking -> matching.
+
+The paper's Table 1 datasets arrive pre-paired; a real deployment starts
+from raw tables.  This example runs the full realistic flow:
+
+1. *data discovery* — find the two beer tables in a lake of tables by
+   describing them in natural language;
+2. *blocking* — generate candidate pairs cheaply with TF-IDF token blocking;
+3. *matching* — judge only the candidates with the LLM matcher.
+
+Run with:  python examples/raw_tables_pipeline.py
+"""
+
+from repro import LinguaManga
+from repro._util import seeded_rng
+from repro.datasets.entity_resolution import _beer_corrupt, _beer_entities
+from repro.storage import Table
+from repro.tasks import block_records, search_tables
+from repro.core.compiler.registry import make_pair_matcher
+
+
+def main() -> None:
+    system = LinguaManga()
+
+    # A small "data lake": several unrelated tables plus two beer catalogues
+    # crawled from different sources.
+    rng = seeded_rng("raw-tables-demo")
+    entities = _beer_entities(rng, 80)
+    source_a = [_beer_corrupt(e, rng, 0.5) for e in entities]
+    source_b = [_beer_corrupt(e, rng, 1.0) for e in entities]
+    system.register_table(Table.from_records("beeradvocate", source_a))
+    system.register_table(Table.from_records("ratebeer", source_b))
+    system.register_table(
+        Table.from_records("employees", [{"first_name": "Ana", "department": "sales"}])
+    )
+    system.register_table(
+        Table.from_records("invoices", [{"invoice_id": 7, "total": 129.5}])
+    )
+
+    # 1. Discovery: which tables hold beers and breweries?
+    hits = search_tables(system.database, "beer names breweries abv styles")
+    print("discovery results:")
+    for hit in hits:
+        print(f"  {hit.table}: score {hit.score:.3f} via {hit.matched_terms[:4]}")
+    left_table, right_table = hits[0].table, hits[1].table
+
+    # 2. Blocking: candidate pairs instead of the full cross product.
+    left = system.database.table(left_table).records()
+    right = system.database.table(right_table).records()
+    blocked = block_records(left, right, key="beer_name", max_candidates_per_record=3)
+    print(f"\nblocking: {blocked.summary()} "
+          f"(cross product would be {len(left) * len(right)})")
+
+    # 3. Matching: only the candidates go to the LLM.  Two worked examples
+    # (the paper's label efficiency: a handful, not thousands) sharpen the
+    # prompt considerably.
+    examples = [
+        (
+            (
+                {"beer_name": "Old Anvil IPA", "brewery": "Summit Brewing Co."},
+                {"beer_name": "Old Anvil India Pale Ale", "brewery": "Summit Brewery"},
+            ),
+            True,
+        ),
+        (
+            (
+                {"beer_name": "Old Anvil IPA", "brewery": "Summit Brewing Co."},
+                {"beer_name": "Old Raven IPA", "brewery": "Summit Brewing Co."},
+            ),
+            False,
+        ),
+    ]
+    matcher = make_pair_matcher(
+        "matcher", system.context, examples=examples, purpose="raw-tables-match"
+    )
+    matches = [
+        (i, j)
+        for i, j in blocked.pairs
+        if matcher.run((left[i], right[j]))
+    ]
+    truth = {(i, i) for i in range(len(entities))}
+    found = set(matches)
+    recall = len(found & truth) / len(truth)
+    precision = len(found & truth) / len(found) if found else 0.0
+    print(f"matching: {len(matches)} matched pairs, "
+          f"precision {precision:.2%}, recall {recall:.2%}")
+    print("\n" + system.usage().to_text())
+    print(
+        f"LLM judged {len(blocked.pairs)} candidates instead of "
+        f"{len(left) * len(right)} pairs — blocking saved "
+        f"{1 - len(blocked.pairs) / (len(left) * len(right)):.1%} of the calls."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setup shim enabling legacy editable installs in offline environments."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""Lingua Manga reproduction: a generic LLM-centric system for data curation.
+
+An offline, from-scratch reproduction of "Lingua Manga: A Generic Large
+Language Model Centric System for Data Curation" (Chen, Cao, Madden; VLDB
+2023 demo).  The public entry point is :class:`repro.LinguaManga`; see
+README.md for the architecture tour and DESIGN.md for the reproduction
+inventory.
+"""
+
+from repro.core.runtime import LinguaManga
+
+__version__ = "1.0.0"
+
+__all__ = ["LinguaManga", "__version__"]

@@ -1,0 +1,77 @@
+"""Shared utilities: deterministic hashing and seeded randomness.
+
+Everything in this reproduction must be deterministic given a seed.  Python's
+built-in :func:`hash` is salted per process, so code that needs a stable
+string hash (for instance the simulated LLM deciding whether it "knows" a
+fact) must use :func:`stable_hash` instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = [
+    "stable_hash",
+    "stable_unit",
+    "stable_choice",
+    "seeded_rng",
+    "chunked",
+]
+
+
+def stable_hash(*parts: object, bits: int = 64) -> int:
+    """Return a deterministic non-negative integer hash of ``parts``.
+
+    The hash is stable across processes and Python versions (unlike the
+    built-in :func:`hash`).  Parts are joined with an unlikely separator so
+    that ``stable_hash("ab", "c") != stable_hash("a", "bc")``.
+    """
+    text = "\x1f".join(repr(p) for p in parts)
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=bits // 8)
+    return int.from_bytes(digest.digest(), "big")
+
+
+def stable_unit(*parts: object) -> float:
+    """Return a deterministic pseudo-uniform float in ``[0, 1)`` for ``parts``.
+
+    Used to make per-item stochastic decisions (e.g. "does the simulated LLM
+    err on this record?") that are reproducible and independent of call order.
+    """
+    return stable_hash(*parts) / float(1 << 64)
+
+
+def stable_choice(options: Sequence[T], *parts: object) -> T:
+    """Deterministically pick one of ``options`` keyed by ``parts``."""
+    if not options:
+        raise ValueError("stable_choice requires at least one option")
+    return options[stable_hash(*parts) % len(options)]
+
+
+def seeded_rng(seed: int | str) -> random.Random:
+    """Return a :class:`random.Random` seeded deterministically.
+
+    String seeds are hashed with :func:`stable_hash` first so that the same
+    string always yields the same stream regardless of interpreter hash
+    randomisation.
+    """
+    if isinstance(seed, str):
+        seed = stable_hash(seed)
+    return random.Random(seed)
+
+
+def chunked(items: Iterable[T], size: int) -> Iterable[list[T]]:
+    """Yield successive lists of at most ``size`` items from ``items``."""
+    if size <= 0:
+        raise ValueError("chunk size must be positive")
+    batch: list[T] = []
+    for item in items:
+        batch.append(item)
+        if len(batch) == size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch

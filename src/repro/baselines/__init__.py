@@ -1,0 +1,27 @@
+"""Baselines the paper compares against (see DESIGN.md substitution table)."""
+
+from repro.baselines.ditto import DittoMatcher, evaluate_ditto
+from repro.baselines.fms import (
+    evaluate_fms_imputation,
+    evaluate_fms_matching,
+    fms_impute_record,
+    fms_match_pair,
+)
+from repro.baselines.holoclean import HoloCleanImputer, evaluate_holoclean
+from repro.baselines.imp import IMPImputer, evaluate_imp
+from repro.baselines.magellan import MagellanMatcher, evaluate_magellan
+
+__all__ = [
+    "DittoMatcher",
+    "evaluate_ditto",
+    "evaluate_fms_imputation",
+    "evaluate_fms_matching",
+    "fms_impute_record",
+    "fms_match_pair",
+    "HoloCleanImputer",
+    "evaluate_holoclean",
+    "IMPImputer",
+    "evaluate_imp",
+    "MagellanMatcher",
+    "evaluate_magellan",
+]

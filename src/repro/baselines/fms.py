@@ -1,0 +1,66 @@
+"""FMs baseline: raw foundation-model prompting (Narayan et al., VLDB 2022).
+
+"Can Foundation Models Wrangle Your Data?" showed zero/few-shot prompting of
+a vanilla LLM handles data tasks but trails tuned systems.  In paper Table 1
+and section 4.3 it is the "LLM without system support" baseline: one terse
+prompt per record pair / record, no task template, no examples, no
+validators, no optimizer.  That is exactly what this module issues.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.datasets.entity_resolution import ERDataset, RecordPair
+from repro.datasets.imputation import ImputationRecord
+from repro.llm.service import LLMService
+from repro.ml.metrics import accuracy, f1_score
+
+__all__ = [
+    "fms_match_pair",
+    "evaluate_fms_matching",
+    "fms_impute_record",
+    "evaluate_fms_imputation",
+]
+
+
+def fms_match_pair(service: LLMService, pair: RecordPair) -> bool:
+    """One bare match prompt, parsed leniently (no validation layer)."""
+    prompt = (
+        "Are these records the same entity?\n"
+        "Record A: " + json.dumps(pair.left, sort_keys=True, default=str) + "\n"
+        "Record B: " + json.dumps(pair.right, sort_keys=True, default=str)
+    )
+    response = service.complete(prompt, purpose="fms-match")
+    return response.strip().lower().startswith("yes")
+
+
+def evaluate_fms_matching(service: LLMService, dataset: ERDataset) -> float:
+    """Test-split F1 of bare prompting."""
+    y_true = [pair.label for pair in dataset.test]
+    y_pred = [int(fms_match_pair(service, pair)) for pair in dataset.test]
+    return f1_score(y_true, y_pred)
+
+
+def fms_impute_record(service: LLMService, record: dict) -> str:
+    """One bare imputation prompt; returns the predicted manufacturer."""
+    visible = {k: v for k, v in record.items() if v is not None}
+    prompt = (
+        "manufacturer?\n"
+        "Product: " + json.dumps(visible, sort_keys=True, default=str)
+    )
+    response = service.complete(prompt, purpose="fms-impute")
+    return response.strip().split(".")[0].strip()
+
+
+def evaluate_fms_imputation(
+    service: LLMService, records: list[ImputationRecord]
+) -> float:
+    """Test accuracy of bare imputation prompting.
+
+    The bare prompt has no validation and no retry: "Unknown" and
+    hallucinated answers count as errors, as in the FMs protocol.
+    """
+    y_true = [record.manufacturer for record in records]
+    y_pred = [fms_impute_record(service, record.visible()) for record in records]
+    return accuracy(y_true, y_pred)

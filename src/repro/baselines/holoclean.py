@@ -1,0 +1,85 @@
+"""HoloClean-style baseline: probabilistic repair from co-occurrence signals.
+
+HoloClean (Rekatsinas et al., VLDB 2017) repairs cells with probabilistic
+inference over functional dependencies and value co-occurrence statistics.
+It treats attribute values as *categorical domain values* — it has no text
+semantics and no world knowledge.  On the Buy task (infer a manufacturer
+from a free-text product name) that signal model is fundamentally starved,
+which is why the paper reports 16.2% accuracy.  The proxy mirrors the signal
+model faithfully:
+
+- exact-value FD: identical names observed with a manufacturer vote for it;
+- categorical co-occurrence: only *frequent* tokens (the ones that behave
+  like categorical domain values, e.g. "Headphones") carry votes;
+- otherwise the global majority prior.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.datasets.imputation import ImputationRecord
+from repro.ml.metrics import accuracy
+
+__all__ = ["HoloCleanImputer", "evaluate_holoclean"]
+
+
+@dataclass
+class HoloCleanImputer:
+    """Co-occurrence voting over frequent categorical tokens."""
+
+    min_token_frequency: int = 25
+    _exact: dict[str, Counter] = field(default_factory=dict, repr=False)
+    _token_votes: dict[str, Counter] = field(default_factory=dict, repr=False)
+    _prior: Counter = field(default_factory=Counter, repr=False)
+
+    def fit(self, observed: list[ImputationRecord]) -> "HoloCleanImputer":
+        """Learn statistics from records whose manufacturer is observed."""
+        if not observed:
+            raise ValueError("cannot fit on an empty observed set")
+        token_frequency: Counter = Counter()
+        raw_votes: dict[str, Counter] = defaultdict(Counter)
+        self._exact = defaultdict(Counter)
+        self._prior = Counter()
+        for record in observed:
+            self._prior[record.manufacturer] += 1
+            self._exact[record.name.lower()][record.manufacturer] += 1
+            for token in set(record.name.lower().split()):
+                token_frequency[token] += 1
+                raw_votes[token][record.manufacturer] += 1
+        # Only high-frequency tokens act as categorical domain values.
+        self._token_votes = {
+            token: votes
+            for token, votes in raw_votes.items()
+            if token_frequency[token] >= self.min_token_frequency
+        }
+        return self
+
+    def predict_one(self, record: dict) -> str:
+        """Repair one record's manufacturer."""
+        if not self._prior:
+            raise RuntimeError("imputer is not fitted; call fit() first")
+        name = str(record.get("name", "")).lower()
+        if name in self._exact:
+            return self._exact[name].most_common(1)[0][0]
+        votes: Counter = Counter()
+        for token in set(name.split()):
+            if token in self._token_votes:
+                votes.update(self._token_votes[token])
+        if votes:
+            return votes.most_common(1)[0][0]
+        return self._prior.most_common(1)[0][0]
+
+    def predict(self, records: list[dict]) -> list[str]:
+        """Repair a batch of records."""
+        return [self.predict_one(record) for record in records]
+
+
+def evaluate_holoclean(
+    train: list[ImputationRecord], test: list[ImputationRecord]
+) -> float:
+    """Fit on observed training records, report test accuracy."""
+    imputer = HoloCleanImputer().fit(train)
+    predictions = imputer.predict([record.visible() for record in test])
+    return accuracy([record.manufacturer for record in test], predictions)

@@ -1,0 +1,46 @@
+"""The Lingua Manga compiler: registry, context, plans, EXPLAIN."""
+
+from repro.core.compiler.compiler import (
+    CompileError,
+    LinguaMangaCompiler,
+    compile_pipeline,
+)
+from repro.core.compiler.context import CompilerContext
+from repro.core.compiler.explain import (
+    explain_pipeline,
+    explain_plan,
+    render_architecture,
+)
+from repro.core.compiler.plan import BoundOperator, PhysicalPlan, RunReport
+from repro.core.compiler.rewriter import RewriteReport, rewrite_pipeline
+from repro.core.compiler.registry import (
+    build_module,
+    default_strategy,
+    make_name_tagger,
+    make_pair_matcher,
+    register_strategy,
+    render_pair,
+    strategies_for,
+)
+
+__all__ = [
+    "CompileError",
+    "LinguaMangaCompiler",
+    "compile_pipeline",
+    "CompilerContext",
+    "explain_pipeline",
+    "explain_plan",
+    "render_architecture",
+    "RewriteReport",
+    "rewrite_pipeline",
+    "BoundOperator",
+    "PhysicalPlan",
+    "RunReport",
+    "build_module",
+    "default_strategy",
+    "make_name_tagger",
+    "make_pair_matcher",
+    "register_strategy",
+    "render_pair",
+    "strategies_for",
+]

@@ -1,0 +1,99 @@
+"""Physical plans: bound modules in execution order, plus run reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.compiler.context import CompilerContext
+from repro.core.dsl.operators import LogicalOperator
+from repro.core.dsl.pipeline import Pipeline
+from repro.core.modules.base import Module
+from repro.core.optimizer.cost import CostSnapshot, CostTracker
+
+__all__ = ["BoundOperator", "RunReport", "PhysicalPlan"]
+
+
+@dataclass
+class BoundOperator:
+    """A logical operator bound to its physical module."""
+
+    operator: LogicalOperator
+    module: Module
+
+    def describe(self) -> str:
+        """EXPLAIN line: logical kind and physical binding."""
+        return f"{self.operator.describe()}  =>  {self.module.describe()}"
+
+
+@dataclass
+class RunReport:
+    """What one plan execution did and what it cost."""
+
+    pipeline_name: str
+    outputs: dict[str, Any] = field(default_factory=dict)
+    module_stats: dict[str, str] = field(default_factory=dict)
+    cost: CostSnapshot | None = None
+
+    def to_text(self) -> str:
+        """Readable execution summary."""
+        lines = [f"run of {self.pipeline_name!r}:"]
+        for name, stats in self.module_stats.items():
+            lines.append(f"  {name}: {stats}")
+        if self.cost is not None:
+            lines.append(f"  llm: {self.cost.to_text()}")
+        return "\n".join(lines)
+
+
+class PhysicalPlan:
+    """An executable plan produced by the compiler.
+
+    ``execute`` evaluates the DAG in topological order.  Operators with no
+    inputs (sources) receive the caller's ``inputs`` dict; single-input
+    operators receive their upstream value; multi-input operators receive a
+    tuple of upstream values in declaration order.
+    """
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        bound: list[BoundOperator],
+        context: CompilerContext,
+    ):
+        self.pipeline = pipeline
+        self.bound = bound
+        self.context = context
+        self._by_name = {b.operator.name: b for b in bound}
+
+    def module(self, operator_name: str) -> Module:
+        """The physical module bound to ``operator_name``."""
+        return self._by_name[operator_name].module
+
+    def execute(self, inputs: dict[str, Any] | None = None) -> RunReport:
+        """Run the plan; returns a :class:`RunReport` with sink outputs."""
+        inputs = inputs or {}
+        values: dict[str, Any] = {}
+        report = RunReport(pipeline_name=self.pipeline.name)
+        with CostTracker(self.context.service) as tracker:
+            for binding in self.bound:
+                operator = binding.operator
+                if not operator.inputs:
+                    argument: Any = inputs
+                elif len(operator.inputs) == 1:
+                    argument = values[operator.inputs[0]]
+                else:
+                    argument = tuple(values[name] for name in operator.inputs)
+                values[operator.name] = binding.module.run(argument)
+        report.cost = tracker.snapshot
+        for sink in self.pipeline.sinks():
+            report.outputs[sink.name] = values[sink.name]
+        for binding in self.bound:
+            report.module_stats[binding.operator.name] = binding.module.stats.to_text()
+        return report
+
+    def to_text(self) -> str:
+        """EXPLAIN rendering of the full plan."""
+        lines = [f"physical plan for {self.pipeline.name!r}:"]
+        for binding in self.bound:
+            lines.append(f"  {binding.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Logical pipeline rewriting (paper conclusion: "pipeline optimizations").
+
+A small rule-based rewriter in the spirit of a relational optimizer's
+rewrite phase.  Rules are conservative — they only fire when the
+transformation is semantics-preserving by construction:
+
+- **fuse duplicate dedupes** — ``dedupe . dedupe == dedupe``.
+- **fuse duplicate clean_text** — normalisation is idempotent.
+- **push filter below dedupe** — a pure per-record predicate commutes with
+  duplicate removal and shrinks the dedupe's input.
+- **push filter below clean/transform stages marked pure** — only when the
+  operator was explicitly declared ``pure=True`` (the rewriter cannot prove
+  purity of arbitrary user code, so the user asserts it).
+
+The rewriter works on *linear chains* inside the DAG (single input, single
+consumer), the only place these rules are unambiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dsl.operators import LogicalOperator, OperatorKind
+from repro.core.dsl.pipeline import Pipeline
+
+__all__ = ["RewriteReport", "rewrite_pipeline"]
+
+
+@dataclass
+class RewriteReport:
+    """What the rewriter did."""
+
+    applied: list[str] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """One line per applied rule."""
+        if not self.applied:
+            return "no rewrites applied"
+        return "\n".join(f"- {rule}" for rule in self.applied)
+
+
+def _consumers(pipeline: Pipeline) -> dict[str, list[str]]:
+    out: dict[str, list[str]] = {op.name: [] for op in pipeline.operators}
+    for op in pipeline.operators:
+        for ref in op.inputs:
+            out[ref].append(op.name)
+    return out
+
+
+def _linear_chain(pipeline: Pipeline) -> list[LogicalOperator] | None:
+    """The operators as a single chain, or None when the DAG branches."""
+    consumers = _consumers(pipeline)
+    if any(len(c) > 1 for c in consumers.values()):
+        return None
+    if any(len(op.inputs) > 1 for op in pipeline.operators):
+        return None
+    return pipeline.topological_order()
+
+
+def _rebuild(name: str, description: str, chain: list[LogicalOperator]) -> Pipeline:
+    pipeline = Pipeline(name=name, description=description)
+    previous: str | None = None
+    for op in chain:
+        inputs = [] if previous is None else [previous]
+        pipeline.add(
+            LogicalOperator(
+                name=op.name, kind=op.kind, params=dict(op.params), inputs=inputs
+            )
+        )
+        previous = op.name
+    pipeline.validate()
+    return pipeline
+
+
+_FUSABLE = {OperatorKind.DEDUPE, OperatorKind.CLEAN_TEXT}
+_FILTER_PUSH_TARGETS = {OperatorKind.DEDUPE}
+
+
+def _is_pure(op: LogicalOperator) -> bool:
+    return bool(op.params.get("pure", False))
+
+
+def rewrite_pipeline(pipeline: Pipeline) -> tuple[Pipeline, RewriteReport]:
+    """Apply the rewrite rules; returns ``(new_pipeline, report)``.
+
+    Pipelines the rewriter cannot reason about (branching DAGs) are
+    returned unchanged.
+    """
+    report = RewriteReport()
+    chain = _linear_chain(pipeline)
+    if chain is None:
+        return pipeline, report
+
+    changed = True
+    while changed:
+        changed = False
+        # Rule 1: fuse adjacent identical fusable kinds.
+        for i in range(len(chain) - 1):
+            a, b = chain[i], chain[i + 1]
+            if a.kind == b.kind and a.kind in _FUSABLE and a.params == b.params:
+                report.applied.append(
+                    f"fused duplicate {a.kind} ({b.name} removed, {a.name} kept)"
+                )
+                del chain[i + 1]
+                changed = True
+                break
+        if changed:
+            continue
+        # Rule 2: push a filter below dedupe (and pure stages).
+        for i in range(len(chain) - 1):
+            a, b = chain[i], chain[i + 1]
+            pushable = b.kind == OperatorKind.FILTER and (
+                a.kind in _FILTER_PUSH_TARGETS
+                or (a.kind in (OperatorKind.CLEAN_TEXT, OperatorKind.TRANSFORM) and _is_pure(b))
+            )
+            if pushable:
+                report.applied.append(f"pushed filter {b.name} before {a.name}")
+                chain[i], chain[i + 1] = b, a
+                changed = True
+                break
+
+    if not report.applied:
+        return pipeline, report
+    return _rebuild(pipeline.name, pipeline.description, chain), report

@@ -1,0 +1,97 @@
+"""Logical operators of the Lingua Manga DSL.
+
+A pipeline is a DAG of *logical* operators (paper section 3: "composing
+pipelines of logical operators").  Each operator declares a kind from the
+operator catalogue, free-form parameters, and its upstream inputs.  The
+compiler later binds each logical operator to a *physical module*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["OperatorKind", "LogicalOperator", "OPERATOR_CATALOGUE"]
+
+
+class OperatorKind:
+    """The catalogue of logical operator kinds."""
+
+    LOAD = "load"
+    SAVE = "save"
+    MATCH_ENTITIES = "match_entities"
+    IMPUTE = "impute"
+    TOKENIZE = "tokenize"
+    NOUN_PHRASES = "noun_phrases"
+    TAG_NAMES = "tag_names"
+    DETECT_LANGUAGE = "detect_language"
+    EXTRACT_NAMES = "extract_names"
+    CLASSIFY = "classify"
+    DEDUPE = "dedupe"
+    CLEAN_TEXT = "clean_text"
+    FILTER = "filter"
+    TRANSFORM = "transform"
+    SCHEMA_MATCH = "schema_match"
+    SUMMARIZE = "summarize"
+    CUSTOM = "custom"
+
+    ALL = (
+        LOAD, SAVE, MATCH_ENTITIES, IMPUTE, TOKENIZE, NOUN_PHRASES, TAG_NAMES,
+        DETECT_LANGUAGE, EXTRACT_NAMES, CLASSIFY, DEDUPE, CLEAN_TEXT, FILTER,
+        TRANSFORM, SCHEMA_MATCH, SUMMARIZE, CUSTOM,
+    )
+
+
+#: Human descriptions used by template search and the UI.
+OPERATOR_CATALOGUE: dict[str, str] = {
+    OperatorKind.LOAD: "Load a table from CSV/JSON or an in-memory source",
+    OperatorKind.SAVE: "Save a table or values to CSV/JSON",
+    OperatorKind.MATCH_ENTITIES: "Decide whether record pairs refer to the same entity",
+    OperatorKind.IMPUTE: "Fill in missing attribute values",
+    OperatorKind.TOKENIZE: "Split text into tokens",
+    OperatorKind.NOUN_PHRASES: "Extract candidate noun phrases from text",
+    OperatorKind.TAG_NAMES: "Tag which phrases are person names",
+    OperatorKind.DETECT_LANGUAGE: "Detect the language of a text",
+    OperatorKind.EXTRACT_NAMES: "Extract person names from text end-to-end",
+    OperatorKind.CLASSIFY: "Classify an input into one of a set of labels",
+    OperatorKind.DEDUPE: "Remove duplicate records",
+    OperatorKind.CLEAN_TEXT: "Normalise text values",
+    OperatorKind.FILTER: "Keep records matching a predicate",
+    OperatorKind.TRANSFORM: "Apply a function to each record",
+    OperatorKind.SCHEMA_MATCH: "Match columns between two schemas",
+    OperatorKind.SUMMARIZE: "Summarise a text",
+    OperatorKind.CUSTOM: "A user-provided operator",
+}
+
+
+@dataclass
+class LogicalOperator:
+    """One node of a logical pipeline.
+
+    ``params`` hold operator-specific configuration, including compiler
+    hints: ``impl`` (which physical strategy to use: ``custom`` / ``llm`` /
+    ``llmgc``), ``validator`` (attach the optimizer's validator), and
+    ``simulate`` (attach the optimizer's simulator).
+    """
+
+    name: str
+    kind: str
+    params: dict[str, Any] = field(default_factory=dict)
+    inputs: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.kind not in OperatorKind.ALL:
+            raise ValueError(
+                f"unknown operator kind {self.kind!r}; known: {OperatorKind.ALL}"
+            )
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise ValueError(f"operator name must be an identifier, got {self.name!r}")
+
+    def describe(self) -> str:
+        """Short description for EXPLAIN output and the UI."""
+        hints = []
+        for hint in ("impl", "validator", "simulate"):
+            if hint in self.params:
+                hints.append(f"{hint}={self.params[hint]}")
+        suffix = f" [{', '.join(hints)}]" if hints else ""
+        return f"{self.name}: {self.kind}{suffix}"

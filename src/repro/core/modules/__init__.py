@@ -1,0 +1,49 @@
+"""Physical modules (paper section 3.1): custom, LLM, LLMGC, decorated."""
+
+from repro.core.modules.base import Module, ModuleExecutionError, ModuleStats
+from repro.core.modules.batch_llm import BatchLLMModule
+from repro.core.modules.custom import CustomModule
+from repro.core.modules.decorated import DecoratedModule, RouterModule, SequentialModule
+from repro.core.modules.llm_module import (
+    LLMModule,
+    parse_leading_word,
+    parse_number,
+    parse_yes_no,
+    render_value,
+)
+from repro.core.modules.llmgc import CodeSandboxError, LLMGCModule, compile_generated_code
+from repro.core.modules.validation import (
+    ChoiceValidator,
+    NonEmptyValidator,
+    NumericRangeValidator,
+    OutputValidator,
+    PredicateValidator,
+    RegexValidator,
+    TypeValidator,
+)
+
+__all__ = [
+    "BatchLLMModule",
+    "Module",
+    "ModuleExecutionError",
+    "ModuleStats",
+    "CustomModule",
+    "DecoratedModule",
+    "RouterModule",
+    "SequentialModule",
+    "LLMModule",
+    "parse_leading_word",
+    "parse_number",
+    "parse_yes_no",
+    "render_value",
+    "CodeSandboxError",
+    "LLMGCModule",
+    "compile_generated_code",
+    "ChoiceValidator",
+    "NonEmptyValidator",
+    "NumericRangeValidator",
+    "OutputValidator",
+    "PredicateValidator",
+    "RegexValidator",
+    "TypeValidator",
+]

@@ -1,0 +1,83 @@
+"""The physical module interface.
+
+Paper section 3.1: "A module is a function f: X -> Y ... Modules are usually
+viewed as black boxes".  Every physical implementation — custom code, an LLM
+prompt, LLM-generated code, or a decorated composite — implements
+:class:`Module`.  Per-module statistics feed the optimizer and the run
+reports.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ModuleStats", "Module", "ModuleExecutionError"]
+
+
+class ModuleExecutionError(RuntimeError):
+    """A module failed while processing an input."""
+
+    def __init__(self, module_name: str, value: Any, cause: BaseException):
+        super().__init__(f"module {module_name!r} failed on {value!r}: {cause}")
+        self.module_name = module_name
+        self.value = value
+        self.cause = cause
+
+
+@dataclass
+class ModuleStats:
+    """Lifetime counters for one module instance."""
+
+    invocations: int = 0
+    failures: int = 0
+    total_seconds: float = 0.0
+
+    def to_text(self) -> str:
+        """One-line rendering."""
+        return (
+            f"invocations={self.invocations} failures={self.failures} "
+            f"time={self.total_seconds:.3f}s"
+        )
+
+
+class Module(ABC):
+    """A black-box function ``f: X -> Y`` with stats and a module type tag."""
+
+    #: type tag shown in plans/UI: custom | llm | llmgc | decorated
+    module_type: str = "custom"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.stats = ModuleStats()
+
+    @abstractmethod
+    def _run(self, value: Any) -> Any:
+        """Implementation hook: process one input."""
+
+    def run(self, value: Any) -> Any:
+        """Process one input, updating stats; wraps failures uniformly."""
+        started = time.perf_counter()
+        self.stats.invocations += 1
+        try:
+            return self._run(value)
+        except Exception as error:
+            self.stats.failures += 1
+            if isinstance(error, ModuleExecutionError):
+                raise
+            raise ModuleExecutionError(self.name, value, error) from error
+        finally:
+            self.stats.total_seconds += time.perf_counter() - started
+
+    def run_batch(self, values: list[Any]) -> list[Any]:
+        """Process a list of inputs (default: item by item)."""
+        return [self.run(v) for v in values]
+
+    def describe(self) -> str:
+        """Short description for plans and the UI."""
+        return f"{self.name} <{self.module_type}>"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"<{type(self).__name__} {self.name!r}>"

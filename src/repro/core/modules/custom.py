@@ -1,0 +1,32 @@
+"""Custom modules: hand-written code wrapped in the module interface."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.modules.base import Module
+
+__all__ = ["CustomModule"]
+
+
+class CustomModule(Module):
+    """A module backed by a plain Python callable.
+
+    This is the paper's "basic module ... implemented with manually written
+    code", used both for user code and for Lingua Manga's built-ins.
+    """
+
+    module_type = "custom"
+
+    def __init__(self, name: str, fn: Callable[[Any], Any], description: str = ""):
+        super().__init__(name)
+        self.fn = fn
+        self.description = description
+
+    def _run(self, value: Any) -> Any:
+        return self.fn(value)
+
+    def describe(self) -> str:
+        """Short description including the user-provided summary."""
+        suffix = f" — {self.description}" if self.description else ""
+        return f"{self.name} <custom>{suffix}"

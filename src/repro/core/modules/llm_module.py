@@ -1,0 +1,169 @@
+"""LLM modules: a prompt template plus output parsing and validation.
+
+Paper section 3.1: "An LLM itself can be a module ... an LLM module requires
+a good task description as input; and LLM outputs typically need proper
+validation."  This class owns the whole prompt lifecycle: render the task
+description, worked examples and the input payload; call the service; parse
+the text; validate; and re-prompt with a stricter instruction when
+validation fails.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Callable, Sequence
+
+from repro.core.modules.base import Module
+from repro.core.modules.validation import OutputValidator
+from repro.llm.errors import MalformedResponseError
+from repro.llm.service import LLMService
+
+__all__ = [
+    "LLMModule",
+    "render_value",
+    "parse_yes_no",
+    "parse_leading_word",
+    "parse_number",
+]
+
+
+def render_value(value: Any) -> str:
+    """Default payload rendering: dicts as JSON, everything else as str."""
+    if isinstance(value, dict):
+        return json.dumps(value, ensure_ascii=False, sort_keys=True, default=str)
+    return str(value)
+
+
+def parse_yes_no(text: str) -> bool:
+    """Parse a yes/no answer; raises :class:`MalformedResponseError`."""
+    match = re.match(r"\s*(yes|no)\b", text, re.IGNORECASE)
+    if match is None:
+        raise MalformedResponseError(f"expected Yes/No, got {text[:80]!r}")
+    return match.group(1).lower() == "yes"
+
+
+def parse_leading_word(text: str) -> str:
+    """First word/phrase up to the sentence-ending period."""
+    head = text.strip().split(".")[0].strip()
+    if not head:
+        raise MalformedResponseError("empty response")
+    return head
+
+
+def parse_number(text: str) -> float:
+    """First decimal number in the response."""
+    match = re.search(r"-?\d+(?:\.\d+)?", text)
+    if match is None:
+        raise MalformedResponseError(f"no number in {text[:80]!r}")
+    return float(match.group())
+
+
+class LLMModule(Module):
+    """A module implemented by prompting the LLM service.
+
+    Parameters
+    ----------
+    service:
+        The budgeted/cached :class:`LLMService` to call.
+    task_description:
+        Natural-language statement of the task ("Determine if the following
+        entities are equivalent").  This is what the no-code user writes.
+    parser:
+        Maps the raw response text to the module's output value; raise
+        :class:`MalformedResponseError` to trigger a validation retry.
+    render:
+        Maps the input value to the payload section of the prompt.
+    payload_label:
+        Label for the payload line (``Input`` by default; e.g. ``Phrase``).
+    examples:
+        Worked ``(input_text, output_text)`` pairs — few-shot examples that
+        measurably improve the simulated model just like a real one.
+    validators:
+        Post-parse checks; failures trigger one stricter re-prompt before
+        the module gives up and raises.
+    instructions:
+        Extra standing instructions (domain knowledge injected in NL).
+    """
+
+    module_type = "llm"
+
+    def __init__(
+        self,
+        name: str,
+        service: LLMService,
+        task_description: str,
+        parser: Callable[[str], Any] = parse_leading_word,
+        render: Callable[[Any], str] = render_value,
+        payload_label: str = "Input",
+        examples: Sequence[tuple[str, str]] = (),
+        validators: Sequence[OutputValidator] = (),
+        instructions: str = "",
+        max_attempts: int = 2,
+        purpose: str | None = None,
+    ):
+        super().__init__(name)
+        self.service = service
+        self.task_description = task_description
+        self.parser = parser
+        self.render = render
+        self.payload_label = payload_label
+        self.examples = list(examples)
+        self.validators = list(validators)
+        self.instructions = instructions
+        self.max_attempts = max(1, max_attempts)
+        self.purpose = purpose or name
+        self.validation_retries = 0
+
+    def build_prompt(self, value: Any, strictness: int = 0) -> str:
+        """Render the full prompt for ``value``.
+
+        ``strictness`` > 0 appends increasingly firm output-format demands —
+        the re-prompt path after a validation failure.
+        """
+        lines = [f"Task: {self.task_description}"]
+        if self.instructions:
+            lines.append(self.instructions)
+        for index, (example_in, example_out) in enumerate(self.examples, start=1):
+            lines.append(f"Example {index}:")
+            lines.append(f"{self.payload_label}: {example_in}")
+            lines.append(f"Output: {example_out}")
+        lines.append(f"{self.payload_label}: {self.render(value)}")
+        if strictness == 1:
+            lines.append(
+                "Answer strictly in the required output format, with no extra words."
+            )
+        elif strictness >= 2:
+            lines.append(
+                "IMPORTANT: your previous answer was malformed. Output ONLY the "
+                "required value and nothing else."
+            )
+        return "\n".join(lines)
+
+    def _run(self, value: Any) -> Any:
+        last_problem = ""
+        for attempt in range(self.max_attempts):
+            prompt = self.build_prompt(value, strictness=attempt)
+            text = self.service.complete(prompt, purpose=self.purpose)
+            try:
+                parsed = self.parser(text)
+            except MalformedResponseError as error:
+                last_problem = str(error)
+                self.validation_retries += 1
+                continue
+            problem = self._validate(parsed)
+            if problem is None:
+                return parsed
+            last_problem = problem
+            self.validation_retries += 1
+        raise MalformedResponseError(
+            f"module {self.name!r}: output failed validation after "
+            f"{self.max_attempts} attempts: {last_problem}"
+        )
+
+    def _validate(self, parsed: Any) -> str | None:
+        for validator in self.validators:
+            ok, message = validator.check(parsed)
+            if not ok:
+                return message
+        return None

@@ -1,0 +1,82 @@
+"""Mapping and enrichment adapters.
+
+Pipelines process datasets (lists of records/documents); most physical
+modules judge a *single* item.  These adapters bridge the two levels:
+
+- :class:`MapModule` applies an item-level module to each element of a list.
+- :class:`EnrichModule` threads dict-shaped documents through a stage,
+  storing the stage's output under a new key (the document-enrichment
+  protocol the name-extraction pipeline uses).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.modules.base import Module
+
+__all__ = ["MapModule", "EnrichModule"]
+
+
+class MapModule(Module):
+    """Apply ``inner`` to every element of a list input."""
+
+    module_type = "decorated"
+
+    def __init__(self, name: str, inner: Module):
+        super().__init__(name)
+        self.inner = inner
+
+    def _run(self, value: Any) -> Any:
+        if not isinstance(value, list):
+            raise TypeError(
+                f"{self.name} expects a list, got {type(value).__name__}"
+            )
+        return [self.inner.run(item) for item in value]
+
+    def describe(self) -> str:
+        """Rendering that exposes the mapped module."""
+        return f"{self.name} <map over {self.inner.describe()}>"
+
+
+class EnrichModule(Module):
+    """Document enrichment: ``doc[out_key] = stage(doc[in_key])``.
+
+    ``stage`` may be a :class:`Module` or a plain callable; when
+    ``whole_doc`` is true the stage receives the entire document rather
+    than ``doc[in_key]`` (for stages that need several keys).
+    """
+
+    module_type = "decorated"
+
+    def __init__(
+        self,
+        name: str,
+        stage: Module | Callable[[Any], Any],
+        in_key: str,
+        out_key: str,
+        whole_doc: bool = False,
+    ):
+        super().__init__(name)
+        self.stage = stage
+        self.in_key = in_key
+        self.out_key = out_key
+        self.whole_doc = whole_doc
+
+    def _apply(self, payload: Any) -> Any:
+        if isinstance(self.stage, Module):
+            return self.stage.run(payload)
+        return self.stage(payload)
+
+    def _run(self, value: Any) -> Any:
+        if not isinstance(value, dict):
+            raise TypeError(f"{self.name} expects a document dict")
+        payload = value if self.whole_doc else value[self.in_key]
+        out = dict(value)
+        out[self.out_key] = self._apply(payload)
+        return out
+
+    def describe(self) -> str:
+        """Rendering showing the key flow."""
+        source = "doc" if self.whole_doc else self.in_key
+        return f"{self.name} <enrich {source} -> {self.out_key}>"

@@ -1,0 +1,40 @@
+"""The Lingua Manga optimizer: validator, simulator, connector, cost model."""
+
+from repro.core.optimizer.connector import (
+    ConnectorAnswer,
+    ConnectorPolicyError,
+    ExposureReport,
+    TabularConnector,
+)
+from repro.core.optimizer.cost import CostComparison, CostSnapshot, CostTracker
+from repro.core.optimizer.crosscheck import (
+    CrossCheckedModule,
+    CrossCheckStats,
+    make_llm_variants,
+)
+from repro.core.optimizer.simulator import SimulatedModule, SimulatorStats
+from repro.core.optimizer.validator import (
+    CaseResult,
+    ModuleValidator,
+    TestCase,
+    ValidationReport,
+)
+
+__all__ = [
+    "ConnectorAnswer",
+    "ConnectorPolicyError",
+    "ExposureReport",
+    "TabularConnector",
+    "CrossCheckedModule",
+    "CrossCheckStats",
+    "make_llm_variants",
+    "CostComparison",
+    "CostSnapshot",
+    "CostTracker",
+    "SimulatedModule",
+    "SimulatorStats",
+    "CaseResult",
+    "ModuleValidator",
+    "TestCase",
+    "ValidationReport",
+]

@@ -1,0 +1,137 @@
+"""Hallucination mitigation by cross-checked prompting.
+
+The paper's conclusion lists "implementing robust mitigation strategies to
+tackle LLM-induced hallucinations" as the next step for Lingua Manga.  This
+module implements the standard mitigation: ask the same question through
+independently phrased prompts and act on the (dis)agreement.
+
+- :class:`CrossCheckedModule` runs N variant modules and majority-votes.
+  Unstable answers — the signature of a hallucination — get out-voted; a
+  full disagreement can optionally fall back to a designated value instead
+  of guessing.
+- :func:`make_llm_variants` clones an :class:`LLMModule` under paraphrased
+  task descriptions, which is how independent phrasings are produced
+  without the user writing three prompts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.modules.base import Module
+from repro.core.modules.llm_module import LLMModule
+
+__all__ = ["CrossCheckStats", "CrossCheckedModule", "make_llm_variants"]
+
+_SENTINEL = object()
+
+
+@dataclass
+class CrossCheckStats:
+    """Agreement accounting across cross-checked runs."""
+
+    unanimous: int = 0
+    majority: int = 0
+    disagreements: int = 0  # no majority at all
+
+    @property
+    def total(self) -> int:
+        """All handled inputs."""
+        return self.unanimous + self.majority + self.disagreements
+
+    def flag_rate(self) -> float:
+        """Fraction of inputs where at least one variant dissented."""
+        if self.total == 0:
+            return 0.0
+        return (self.majority + self.disagreements) / self.total
+
+    def to_text(self) -> str:
+        """One-line rendering."""
+        return (
+            f"unanimous={self.unanimous} majority={self.majority} "
+            f"disagreements={self.disagreements} "
+            f"flag_rate={self.flag_rate():.0%}"
+        )
+
+
+class CrossCheckedModule(Module):
+    """Majority vote over independently phrased variant modules.
+
+    Parameters
+    ----------
+    variants:
+        The modules to consult (typically paraphrased LLM modules).  An odd
+        count avoids ties.
+    fallback:
+        Value returned when *no* answer reaches a majority.  Left unset, the
+        first variant's answer wins ties (the "trust the primary" policy).
+    """
+
+    module_type = "decorated"
+
+    def __init__(
+        self,
+        name: str,
+        variants: Sequence[Module],
+        fallback: Any = _SENTINEL,
+    ):
+        super().__init__(name)
+        if len(variants) < 2:
+            raise ValueError("cross-checking needs at least two variants")
+        self.variants = list(variants)
+        self.fallback = fallback
+        self.check_stats = CrossCheckStats()
+
+    def _run(self, value: Any) -> Any:
+        answers = [variant.run(value) for variant in self.variants]
+        counts = Counter(repr(answer) for answer in answers)
+        top_repr, top_count = counts.most_common(1)[0]
+        if top_count == len(answers):
+            self.check_stats.unanimous += 1
+            return answers[0]
+        if top_count > len(answers) / 2:
+            self.check_stats.majority += 1
+            return next(a for a in answers if repr(a) == top_repr)
+        self.check_stats.disagreements += 1
+        if self.fallback is not _SENTINEL:
+            return self.fallback
+        return answers[0]
+
+    def describe(self) -> str:
+        """Variant count plus agreement stats."""
+        return (
+            f"{self.name} <decorated: cross-check x{len(self.variants)}, "
+            f"{self.check_stats.to_text()}>"
+        )
+
+
+def make_llm_variants(
+    module: LLMModule, paraphrases: Sequence[str]
+) -> list[LLMModule]:
+    """Clone an LLM module under paraphrased task descriptions.
+
+    The original module is always the first variant; each paraphrase
+    produces an independent prompt (and therefore an independent judgement
+    from the provider) while sharing the parser, renderer, examples and
+    validators.
+    """
+    variants: list[LLMModule] = [module]
+    for index, description in enumerate(paraphrases, start=1):
+        variants.append(
+            LLMModule(
+                name=f"{module.name}_v{index}",
+                service=module.service,
+                task_description=description,
+                parser=module.parser,
+                render=module.render,
+                payload_label=module.payload_label,
+                examples=list(module.examples),
+                validators=list(module.validators),
+                instructions=module.instructions,
+                max_attempts=module.max_attempts,
+                purpose=module.purpose,
+            )
+        )
+    return variants

@@ -1,0 +1,177 @@
+"""The optimizer's simulator (paper section 3.2).
+
+"A simulator automatically generates a more efficient and equally effective
+alternative to a given module that already functions well. ... Because each
+module is treated as a black-box function, an ML-based simulator can
+replicate the target module through supervised learning.  The target module
+will function as intended during initialization, and a control logic will
+decide when the simulated version should take over, such as after achieving
+the desired accuracy or reaching a certain level of confidence."
+
+:class:`SimulatedModule` wraps a *teacher* module (typically an expensive
+LLM module).  While warming up it forwards every input to the teacher and
+records ``(input text, teacher label)`` pairs.  Once enough samples exist and
+the student agrees with the teacher on a holdout, the control logic lets the
+student answer whenever its confidence clears the threshold; low-confidence
+inputs still go to the teacher (and keep training the student — the
+"continuously monitors the real data flow" property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+from repro.core.modules.base import Module
+from repro.ml.features import HashingVectorizer
+from repro.ml.logistic import SoftmaxRegression
+
+__all__ = ["SimulatorStats", "SimulatedModule"]
+
+
+@dataclass
+class SimulatorStats:
+    """Counters for the takeover control logic."""
+
+    teacher_calls: int = 0
+    student_calls: int = 0
+    deferrals: int = 0  # student consulted but not confident enough
+    refits: int = 0
+
+    @property
+    def total(self) -> int:
+        """All handled inputs."""
+        return self.teacher_calls + self.student_calls
+
+    def savings(self) -> float:
+        """Fraction of inputs the teacher never saw."""
+        if self.total == 0:
+            return 0.0
+        return self.student_calls / self.total
+
+    def to_text(self) -> str:
+        """One-line rendering."""
+        return (
+            f"teacher={self.teacher_calls} student={self.student_calls} "
+            f"deferrals={self.deferrals} refits={self.refits} "
+            f"savings={self.savings():.0%}"
+        )
+
+
+class SimulatedModule(Module):
+    """Teacher module + continuously trained student with takeover logic.
+
+    Parameters
+    ----------
+    teacher:
+        The module being simulated (treated as a black box).
+    featurize:
+        Maps an input value to the text the student model sees.
+    min_samples:
+        Warm-up length: the student never answers before this many
+        teacher-labelled samples exist.
+    agreement_threshold:
+        Required student/teacher agreement on the trailing holdout before
+        takeover is allowed (the "desired accuracy" control).
+    confidence_threshold:
+        Per-input confidence the student needs to answer on its own.
+    refit_every:
+        Retrain cadence (in new teacher-labelled samples) after warm-up.
+    """
+
+    module_type = "decorated"
+
+    def __init__(
+        self,
+        name: str,
+        teacher: Module,
+        featurize: Callable[[Any], str] = str,
+        min_samples: int = 40,
+        agreement_threshold: float = 0.85,
+        confidence_threshold: float = 0.8,
+        refit_every: int = 25,
+        n_features: int = 1024,
+    ):
+        super().__init__(name)
+        self.teacher = teacher
+        self.featurize = featurize
+        self.min_samples = min_samples
+        self.agreement_threshold = agreement_threshold
+        self.confidence_threshold = confidence_threshold
+        self.refit_every = refit_every
+        self.sim_stats = SimulatorStats()
+        self._vectorizer = HashingVectorizer(n_features=n_features)
+        self._X: list[np.ndarray] = []
+        self._y: list[Hashable] = []
+        self._model: SoftmaxRegression | None = None
+        self._pending_since_fit = 0
+        self._holdout_agreement = 0.0
+
+    # -- training ------------------------------------------------------------------
+
+    @staticmethod
+    def _new_model() -> SoftmaxRegression:
+        # Lightly regularised so the student's confidence is sharp enough to
+        # clear the takeover threshold once it genuinely knows the answer.
+        return SoftmaxRegression(epochs=300, lr=1.0, l2=1e-4)
+
+    def _record(self, vector: np.ndarray, label: Hashable) -> None:
+        self._X.append(vector)
+        self._y.append(label)
+        self._pending_since_fit += 1
+        ready = len(self._y) >= self.min_samples
+        due = self._model is None or self._pending_since_fit >= self.refit_every
+        if ready and due and len(set(map(repr, self._y))) >= 2:
+            self._refit()
+
+    def _refit(self) -> None:
+        X = np.stack(self._X)
+        model = self._new_model()
+        # Holdout agreement: train on the first 80%, measure on the rest.
+        cut = max(int(len(self._y) * 0.8), 1)
+        if cut < len(self._y):
+            model.fit(X[:cut], self._y[:cut])
+            predictions = model.predict(X[cut:])
+            matches = sum(1 for p, t in zip(predictions, self._y[cut:]) if p == t)
+            self._holdout_agreement = matches / (len(self._y) - cut)
+        # Final model uses everything.
+        self._model = self._new_model().fit(X, self._y)
+        self._pending_since_fit = 0
+        self.sim_stats.refits += 1
+
+    # -- control logic ----------------------------------------------------------------
+
+    @property
+    def takeover_ready(self) -> bool:
+        """Whether the student is allowed to answer at all."""
+        return (
+            self._model is not None
+            and len(self._y) >= self.min_samples
+            and self._holdout_agreement >= self.agreement_threshold
+        )
+
+    def _run(self, value: Any) -> Any:
+        vector = self._vectorizer.transform_one(self.featurize(value))
+        if self.takeover_ready:
+            assert self._model is not None
+            label, confidence = self._model.predict_with_confidence(
+                vector.reshape(1, -1)
+            )[0]
+            if confidence >= self.confidence_threshold:
+                self.sim_stats.student_calls += 1
+                return label
+            self.sim_stats.deferrals += 1
+        label = self.teacher.run(value)
+        self.sim_stats.teacher_calls += 1
+        self._record(vector, label)
+        return label
+
+    def describe(self) -> str:
+        """Teacher plus takeover state."""
+        state = "active" if self.takeover_ready else "warming up"
+        return (
+            f"{self.name} <decorated: simulator({self.teacher.name}), {state}, "
+            f"{self.sim_stats.to_text()}>"
+        )

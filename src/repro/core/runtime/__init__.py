@@ -1,0 +1,5 @@
+"""Runtime facade: the single object user code talks to."""
+
+from repro.core.runtime.system import LinguaManga
+
+__all__ = ["LinguaManga"]

@@ -1,0 +1,120 @@
+"""The :class:`LinguaManga` facade.
+
+One object that owns the LLM service, the local database, the compiler and
+the template library — the "system" a user interacts with in the paper's
+demonstration.  All three example applications in ``examples/`` drive the
+system exclusively through this facade.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.compiler.compiler import LinguaMangaCompiler
+from repro.core.compiler.context import CompilerContext
+from repro.core.compiler.plan import PhysicalPlan, RunReport
+from repro.core.dsl.builder import PipelineBuilder
+from repro.core.dsl.parser import parse_pipeline
+from repro.core.dsl.pipeline import Pipeline
+from repro.core.optimizer.connector import TabularConnector
+from repro.core.templates.library import (
+    Template,
+    available_templates,
+    get_template,
+    search_templates,
+)
+from repro.llm.knowledge import KnowledgeBase
+from repro.llm.providers import SimulatedProvider
+from repro.llm.service import LLMService, UsageSummary
+from repro.storage.database import Database
+from repro.storage.table import Table
+
+__all__ = ["LinguaManga"]
+
+
+class LinguaManga:
+    """The Lingua Manga system: DSL + compiler + optimizer + templates.
+
+    Parameters
+    ----------
+    service:
+        An :class:`LLMService`; a fresh simulated one is created by default.
+    database:
+        The local relational store the connector queries.
+    knowledge:
+        Knowledge-base overrides for the simulated provider (ignored when a
+        custom ``service`` is given).
+    """
+
+    def __init__(
+        self,
+        service: LLMService | None = None,
+        database: Database | None = None,
+        knowledge: KnowledgeBase | None = None,
+    ):
+        if service is None:
+            provider = SimulatedProvider(knowledge=knowledge)
+            service = LLMService(provider)
+        self.service = service
+        self.database = database or Database()
+        self.context = CompilerContext(service=self.service, database=self.database)
+        self.compiler = LinguaMangaCompiler(self.context)
+
+    # -- pipeline construction ----------------------------------------------------
+
+    def builder(self, name: str, description: str = "") -> PipelineBuilder:
+        """Start a fluent pipeline builder."""
+        return PipelineBuilder(name, description)
+
+    def parse(self, dsl_text: str) -> Pipeline:
+        """Parse a pipeline from DSL text."""
+        return parse_pipeline(dsl_text)
+
+    # -- templates -------------------------------------------------------------------
+
+    def templates(self) -> list[Template]:
+        """All built-in templates."""
+        return available_templates()
+
+    def search_templates(self, query: str, limit: int = 3) -> list[tuple[Template, float]]:
+        """Rank templates against a natural-language need."""
+        return search_templates(query, limit)
+
+    def template(self, name: str) -> Template:
+        """Fetch a template by name."""
+        return get_template(name)
+
+    # -- compile and run ---------------------------------------------------------------
+
+    def compile(self, pipeline: Pipeline, optimize: bool = False) -> PhysicalPlan:
+        """Compile a logical pipeline into a physical plan.
+
+        ``optimize=True`` runs the logical rewriter first.
+        """
+        return self.compiler.compile(pipeline, optimize=optimize)
+
+    def run(
+        self, pipeline: Pipeline, inputs: dict[str, Any] | None = None
+    ) -> RunReport:
+        """Compile and execute in one step."""
+        return self.compile(pipeline).execute(inputs)
+
+    # -- data and services ---------------------------------------------------------------
+
+    def register_table(self, table: Table, name: str | None = None) -> None:
+        """Add a table to the local database."""
+        self.database.register(table, name)
+
+    def connector(self, max_result_rows: int = 20) -> TabularConnector:
+        """A privacy-preserving connector over the local database."""
+        return TabularConnector(
+            self.database, self.service, max_result_rows=max_result_rows
+        )
+
+    def usage(self, purpose: str | None = None) -> UsageSummary:
+        """LLM usage so far (optionally for one purpose label)."""
+        return self.service.usage(purpose)
+
+    def reset_usage(self) -> None:
+        """Clear the LLM ledger (e.g. between experiment arms)."""
+        self.service.reset_usage()

@@ -1,0 +1,16 @@
+"""Built-in pipeline templates (paper section 3).
+
+"Rather than creating a pipeline from scratch, Lingua Manga allows users to
+start with a pre-defined, well-optimized pipeline that the target application
+can directly use."  Templates are searchable by natural-language description
+— the first thing the novice user of section 4.1 does.
+"""
+
+from repro.core.templates.library import (
+    Template,
+    available_templates,
+    get_template,
+    search_templates,
+)
+
+__all__ = ["Template", "available_templates", "get_template", "search_templates"]

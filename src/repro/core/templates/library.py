@@ -1,0 +1,309 @@
+"""The template library: pre-built, optimizer-tuned pipelines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.dsl.builder import PipelineBuilder
+from repro.core.dsl.operators import OperatorKind
+from repro.core.dsl.pipeline import Pipeline
+from repro.core.optimizer.validator import TestCase
+from repro.text.tokenize import word_tokenize
+
+__all__ = ["Template", "available_templates", "get_template", "search_templates"]
+
+
+@dataclass(frozen=True)
+class Template:
+    """A named, searchable pipeline factory."""
+
+    name: str
+    description: str
+    keywords: tuple[str, ...]
+    build: Callable[..., Pipeline] = field(compare=False)
+
+    def instantiate(self, **overrides: Any) -> Pipeline:
+        """Build the pipeline, forwarding any overrides to the factory."""
+        return self.build(**overrides)
+
+
+# ---------------------------------------------------------------------------
+# Template factories
+# ---------------------------------------------------------------------------
+
+
+def _entity_resolution_template(
+    examples: list[tuple[Any, bool]] | None = None,
+    task: str | None = None,
+    instructions: str = "",
+) -> Pipeline:
+    """Figure 2b: the built-in, well-optimized ER pipeline.
+
+    The matcher is an LLM module with a curated task description; few-shot
+    ``examples`` (record-pair, label) sharpen it further — the paper's
+    "label efficient" story: a handful of examples, not thousands.
+    """
+    builder = PipelineBuilder(
+        "entity_resolution_template",
+        description="built-in entity resolution: load -> LLM match -> save",
+    )
+    params: dict[str, Any] = {"impl": "llm"}
+    if examples:
+        params["examples"] = examples
+    if task:
+        params["task"] = task
+    if instructions:
+        params["instructions"] = instructions
+    return (
+        builder.load(source="pairs")
+        .match_entities(**params)
+        .save(key="verdicts")
+        .build()
+    )
+
+
+def _name_extraction_template(
+    multilingual: bool = True,
+    simulate_tagging: bool = False,
+    noun_phrase_cases: list[TestCase] | None = None,
+) -> Pipeline:
+    """Figure 3: tokenize -> noun phrases (LLMGC) -> tag (LLM + validator).
+
+    ``multilingual=True`` inserts the language-detection module the paper's
+    section 4.2 adds to fix multilingual degradation; ``simulate_tagging``
+    attaches the optimizer's simulator to the expensive tagging module.
+    """
+    if noun_phrase_cases is None:
+        noun_phrase_cases = default_noun_phrase_cases()
+    builder = PipelineBuilder(
+        "name_extraction_template",
+        description="name extraction with LLMGC chunking and LLM tagging",
+    )
+    builder.load(source="documents")
+    builder.tokenize(impl="llmgc", validator_cases=default_tokenize_cases())
+    if multilingual:
+        builder.detect_language(impl="custom")
+    builder.noun_phrases(impl="llmgc", validator_cases=noun_phrase_cases)
+    tag_params: dict[str, Any] = {"use_language": multilingual}
+    if simulate_tagging:
+        tag_params["simulate"] = True
+        tag_params["simulate_config"] = {
+            "min_samples": 60,
+            "agreement_threshold": 0.8,
+            "confidence_threshold": 0.65,
+            "refit_every": 30,
+        }
+    builder.tag_names(**tag_params)
+    builder.save(key="documents")
+    return builder.build()
+
+
+def _data_imputation_template(
+    guidelines: str = "",
+    validator_cases: list[TestCase] | None = None,
+) -> Pipeline:
+    """Figure 4: the expert imputation pipeline (LLMGC hybrid + validator)."""
+    if validator_cases is None:
+        validator_cases = default_imputation_cases()
+    return (
+        PipelineBuilder(
+            "data_imputation_template",
+            description="imputation: cheap rules locally, LLM escalation for hard cases",
+        )
+        .load(source="records")
+        .impute(
+            impl="llmgc",
+            guidelines=guidelines
+            or (
+                "Resolve products that mention their brand verbatim with "
+                "local string rules; escalate only brand-less products to "
+                "the LLM tool."
+            ),
+            validator_cases=validator_cases,
+        )
+        .save(key="imputed")
+        .build()
+    )
+
+
+def _schema_matching_template() -> Pipeline:
+    """Column matching between two schemas via the LLM."""
+    return (
+        PipelineBuilder(
+            "schema_matching_template",
+            description="schema matching: LLM column alignment",
+        )
+        .load(source="schemas")
+        .add(OperatorKind.SCHEMA_MATCH, impl="llm", map=False)
+        .save(key="matches")
+        .build()
+    )
+
+
+def _data_cleaning_template() -> Pipeline:
+    """Normalise text values then drop exact duplicates."""
+    return (
+        PipelineBuilder(
+            "data_cleaning_template",
+            description="cleaning: normalise values, dedupe records",
+        )
+        .load(source="values")
+        .clean_text(impl="custom")
+        .dedupe(impl="custom")
+        .save(key="cleaned")
+        .build()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Default validator cases (the "few example test cases" of section 3.2)
+# ---------------------------------------------------------------------------
+
+
+def default_tokenize_cases() -> list[TestCase]:
+    """Test cases that force the tokenizer past the whitespace-split draft."""
+    return [
+        TestCase(
+            "John met Mary.",
+            ["John", "met", "Mary", "."],
+            name="punctuation separated",
+        ),
+        TestCase("He said hi", ["He", "said", "hi"], name="plain words"),
+    ]
+
+
+def default_noun_phrase_cases() -> list[TestCase]:
+    """Cases that force the chunker through both repair rounds."""
+    return [
+        TestCase(
+            "Yesterday John Smith arrived.",
+            ["John Smith"],
+            name="sentence-initial function word",
+        ),
+        TestCase(
+            "Maria de la Cruz spoke in Madrid.",
+            ["Maria de la Cruz", "Madrid"],
+            name="particles bridged",
+        ),
+        TestCase(
+            "The report was fine.",
+            [],
+            name="no phrases in plain sentence",
+        ),
+    ]
+
+
+def default_imputation_cases() -> list[TestCase]:
+    """Cases that force the imputer to read descriptions and escalate."""
+    return [
+        TestCase(
+            {"name": "Sony Walkman Headphones", "description": "portable audio"},
+            "Sony",
+            name="brand in name",
+        ),
+        TestCase(
+            {
+                "name": "Inspiron Notebook",
+                "description": "Official Dell Notebook with full warranty.",
+            },
+            "Dell",
+            name="brand in description",
+        ),
+        TestCase(
+            {"name": "PlayStation Console", "description": "game console"},
+            "Sony",
+            name="world knowledge (escalation)",
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Registry and search
+# ---------------------------------------------------------------------------
+
+_TEMPLATES: dict[str, Template] = {
+    template.name: template
+    for template in (
+        Template(
+            name="entity_resolution",
+            description=(
+                "Decide which record pairs refer to the same real-world "
+                "entity (deduplication, record linkage, matching)."
+            ),
+            keywords=(
+                "entity", "resolution", "match", "matching", "duplicate",
+                "dedupe", "linkage", "same", "records", "merge",
+            ),
+            build=_entity_resolution_template,
+        ),
+        Template(
+            name="name_extraction",
+            description=(
+                "Find all person names in text passages (tokenize, extract "
+                "noun phrases, tag names; multilingual aware)."
+            ),
+            keywords=(
+                "name", "names", "person", "extraction", "extract", "ner",
+                "text", "multilingual", "tag",
+            ),
+            build=_name_extraction_template,
+        ),
+        Template(
+            name="data_imputation",
+            description=(
+                "Fill in missing attribute values such as a product's "
+                "manufacturer (imputation, missing data, repair)."
+            ),
+            keywords=(
+                "impute", "imputation", "missing", "fill", "manufacturer",
+                "value", "repair", "complete",
+            ),
+            build=_data_imputation_template,
+        ),
+        Template(
+            name="schema_matching",
+            description="Align columns between two table schemas by meaning.",
+            keywords=("schema", "column", "matching", "align", "integration"),
+            build=_schema_matching_template,
+        ),
+        Template(
+            name="data_cleaning",
+            description="Normalise messy text values and drop duplicates.",
+            keywords=("clean", "cleaning", "normalise", "normalize", "dedupe", "messy"),
+            build=_data_cleaning_template,
+        ),
+    )
+}
+
+
+def available_templates() -> list[Template]:
+    """All built-in templates, sorted by name."""
+    return [_TEMPLATES[name] for name in sorted(_TEMPLATES)]
+
+
+def get_template(name: str) -> Template:
+    """Fetch a template by exact name."""
+    if name not in _TEMPLATES:
+        raise KeyError(f"no template named {name!r}; have {sorted(_TEMPLATES)}")
+    return _TEMPLATES[name]
+
+
+def search_templates(query: str, limit: int = 3) -> list[tuple[Template, float]]:
+    """Rank templates against an NL ``query`` by keyword/description overlap.
+
+    This is the no-code entry point: "users can easily search for existing
+    templates within the system" (section 4.1).
+    """
+    tokens = {t.lower() for t in word_tokenize(query)}
+    scored: list[tuple[Template, float]] = []
+    for template in available_templates():
+        keyword_hits = len(tokens & set(template.keywords))
+        description_hits = len(
+            tokens & {t.lower() for t in word_tokenize(template.description)}
+        )
+        score = keyword_hits * 2.0 + description_hits * 0.5
+        if score > 0:
+            scored.append((template, score))
+    scored.sort(key=lambda pair: (-pair[1], pair[0].name))
+    return scored[:limit]

@@ -1,0 +1,31 @@
+"""Seeded synthetic datasets standing in for the paper's benchmark data."""
+
+from repro.datasets.entity_resolution import (
+    ER_DATASET_NAMES,
+    ERDataset,
+    RecordPair,
+    generate_er_dataset,
+)
+from repro.datasets.imputation import (
+    ImputationDataset,
+    ImputationRecord,
+    generate_buy_dataset,
+)
+from repro.datasets.names import (
+    NameDocument,
+    NameExtractionDataset,
+    generate_name_dataset,
+)
+
+__all__ = [
+    "ER_DATASET_NAMES",
+    "ERDataset",
+    "RecordPair",
+    "generate_er_dataset",
+    "ImputationDataset",
+    "ImputationRecord",
+    "generate_buy_dataset",
+    "NameDocument",
+    "NameExtractionDataset",
+    "generate_name_dataset",
+]

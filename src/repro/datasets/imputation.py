@@ -1,0 +1,149 @@
+"""Synthetic Buy-like data-imputation dataset (paper section 4.3).
+
+Products have ``name``, ``description`` and a missing ``manufacturer``.  The
+generator controls the *hardness mix*: an "easy" record mentions its brand
+verbatim in the name or description (resolvable by cheap string rules), while
+a "hard" record never does — its manufacturer is only deducible from product-
+line world knowledge ("PlayStation 2 Memory Card 8MB" -> Sony).  The paper's
+1/6-LLM-calls result comes precisely from this mix: the optimized LLMGC
+module resolves easy records locally and escalates only the hard ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro._util import seeded_rng
+from repro.datasets.catalog import BRANDS, Brand
+
+__all__ = ["ImputationRecord", "ImputationDataset", "generate_buy_dataset"]
+
+_PRODUCT_KINDS = {
+    "electronics": ["Console", "Remote", "Adapter", "Dock", "Charger", "Cable Kit"],
+    "cameras": ["Digital Camera", "Lens Kit", "Camera Bag", "Battery Pack", "Flash"],
+    "computers": ["Notebook", "Desktop", "Docking Station", "Keyboard", "Memory Upgrade"],
+    "accessories": ["Carrying Case", "Mount Kit", "Stylus Pack", "Screen Protector"],
+    "storage": ["Memory Card 8MB", "Memory Card 1GB", "USB Flash Drive 2GB", "External Hard Drive 250GB"],
+    "gps": ["GPS Navigator", "Dashboard Mount", "Traffic Receiver"],
+    "phones": ["Bluetooth Headset", "Car Charger", "Belt Clip", "Extended Battery"],
+    "audio": ["Headphones", "Speaker System", "Earbuds", "Audio Receiver", "Subwoofer"],
+    "printers": ["Inkjet Printer", "Toner Cartridge", "Photo Paper Pack"],
+    "networking": ["Wireless Router", "Network Switch 8-Port", "USB Wi-Fi Adapter"],
+    "power": ["Surge Protector", "Battery Backup 650VA", "Replacement Battery"],
+    "monitors": ["19-inch LCD Monitor", "22-inch Widescreen Monitor", "Monitor Stand"],
+    "office": ["Paper Shredder", "Laminator", "Privacy Filter"],
+    "appliances": ["Air Purifier", "Handheld Vacuum", "Tower Fan"],
+}
+
+_DESCRIPTION_TEMPLATES = [
+    "{line} series {kind} with premium build quality.",
+    "Genuine {kind} designed for the {line} product family.",
+    "Compatible {kind} for {line} devices; includes quick start guide.",
+    "High-performance {kind}. Works with all {line} models.",
+]
+
+_BRANDED_DESCRIPTION_TEMPLATES = [
+    "Official {brand} {kind} with full warranty.",
+    "{brand} original accessory. {line} series {kind}.",
+    "Brand new {kind} by {brand}, sealed retail packaging.",
+]
+
+
+@dataclass(frozen=True)
+class ImputationRecord:
+    """One product with its hidden ground-truth manufacturer."""
+
+    name: str
+    description: str
+    manufacturer: str  # ground truth (hidden from methods under test)
+    hard: bool  # True when the brand is never mentioned verbatim
+
+    def visible(self) -> dict:
+        """The record as methods see it: manufacturer missing."""
+        return {"name": self.name, "description": self.description, "manufacturer": None}
+
+
+@dataclass
+class ImputationDataset:
+    """A Buy-like dataset split into train (for supervised baselines) and test."""
+
+    train: list[ImputationRecord] = field(default_factory=list)
+    test: list[ImputationRecord] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line description with the hardness mix."""
+        hard = sum(1 for r in self.test if r.hard)
+        return (
+            f"buy: train={len(self.train)} test={len(self.test)} "
+            f"(hard test records: {hard}, {hard / max(len(self.test), 1):.0%})"
+        )
+
+
+def _model_code(rng: random.Random) -> str:
+    """A quasi-unique model number ("SL-2041") making product names distinct."""
+    letters = "".join(rng.choice("ABCDEFGHJKLMNPRSTVWX") for _ in range(2))
+    return f"{letters}-{rng.randrange(100, 9999)}"
+
+
+def _make_record(brand: Brand, rng: random.Random, hard: bool) -> ImputationRecord:
+    line = rng.choice(brand.lines)
+    kind = rng.choice(_PRODUCT_KINDS[brand.category])
+    code = _model_code(rng)
+    if hard:
+        # Brand never appears; only the product line gives it away.
+        name = f"{line} {kind} {code}"
+        description = rng.choice(_DESCRIPTION_TEMPLATES).format(line=line, kind=kind)
+    else:
+        mention_in_name = rng.random() < 0.6
+        if mention_in_name:
+            name = f"{brand.name} {line} {kind} {code}"
+            if rng.random() < 0.12:
+                # Realistic trap: the description advertises compatibility
+                # with a *different* brand ("Works with Apple iPod...").
+                other = rng.choice([b for b in BRANDS if b.name != brand.name])
+                description = (
+                    f"Compatible with {other.name} {rng.choice(other.lines)} "
+                    f"devices. {kind} with warranty."
+                )
+            else:
+                description = rng.choice(_DESCRIPTION_TEMPLATES).format(
+                    line=line, kind=kind
+                )
+        else:
+            name = f"{line} {kind} {code}"
+            description = rng.choice(_BRANDED_DESCRIPTION_TEMPLATES).format(
+                brand=brand.name, line=line, kind=kind
+            )
+    return ImputationRecord(
+        name=name, description=description, manufacturer=brand.name, hard=hard
+    )
+
+
+def generate_buy_dataset(
+    seed: int = 11,
+    n_train: int = 2000,
+    n_test: int = 650,
+    hard_fraction: float = 1.0 / 6.0,
+) -> ImputationDataset:
+    """Generate the Buy-like dataset.
+
+    ``hard_fraction`` controls how many records require world knowledge
+    (default one sixth, matching the paper's observed LLM-call ratio).
+    ``n_train`` defaults to thousands of labelled examples because that is
+    what the IMP baseline trains on in the paper.
+    """
+    if not 0.0 <= hard_fraction <= 1.0:
+        raise ValueError("hard_fraction must be in [0, 1]")
+    rng = seeded_rng(f"buy-{seed}")
+
+    def build(count: int) -> list[ImputationRecord]:
+        records = []
+        n_hard = int(round(count * hard_fraction))
+        for i in range(count):
+            brand = rng.choice(BRANDS)
+            records.append(_make_record(brand, rng, hard=i < n_hard))
+        rng.shuffle(records)
+        return records
+
+    return ImputationDataset(train=build(n_train), test=build(n_test))

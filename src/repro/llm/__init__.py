@@ -1,0 +1,42 @@
+"""Simulated LLM substrate: providers, service layer, skills, knowledge.
+
+See DESIGN.md section 1 for why a deterministic simulated LLM is the right
+substitution for the hosted APIs the paper used.
+"""
+
+from repro.llm.errors import (
+    BudgetExceededError,
+    LLMError,
+    MalformedResponseError,
+    ProviderError,
+    RateLimitError,
+)
+from repro.llm.knowledge import KnowledgeBase
+from repro.llm.providers import (
+    FlakyProvider,
+    LLMProvider,
+    LLMRequest,
+    LLMResponse,
+    SimulatedProvider,
+)
+from repro.llm.service import CallRecord, LLMService, UsageSummary
+from repro.llm.tokenizer import count_tokens, estimate_cost
+
+__all__ = [
+    "BudgetExceededError",
+    "LLMError",
+    "MalformedResponseError",
+    "ProviderError",
+    "RateLimitError",
+    "KnowledgeBase",
+    "FlakyProvider",
+    "LLMProvider",
+    "LLMRequest",
+    "LLMResponse",
+    "SimulatedProvider",
+    "CallRecord",
+    "LLMService",
+    "UsageSummary",
+    "count_tokens",
+    "estimate_cost",
+]

@@ -1,0 +1,126 @@
+"""LLM providers: the pluggable back end of the service layer.
+
+:class:`SimulatedProvider` is the deterministic stand-in for a hosted LLM
+API used throughout this reproduction (see DESIGN.md's substitution table).
+The seam is :class:`LLMProvider` — a real HTTP-backed provider could be
+dropped in without touching anything above this layer.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro._util import stable_unit
+from repro.llm.errors import ProviderError, RateLimitError
+from repro.llm.knowledge import KnowledgeBase
+from repro.llm.skills import Skill, default_skills
+from repro.llm.tokenizer import count_tokens
+
+__all__ = ["LLMRequest", "LLMResponse", "LLMProvider", "SimulatedProvider", "FlakyProvider"]
+
+
+@dataclass(frozen=True)
+class LLMRequest:
+    """A completion request."""
+
+    prompt: str
+    max_tokens: int = 256
+    temperature: float = 0.0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class LLMResponse:
+    """A completion response with usage accounting."""
+
+    text: str
+    prompt_tokens: int
+    completion_tokens: int
+    model: str
+    skill: str = ""
+    latency_seconds: float = 0.0
+
+
+class LLMProvider(ABC):
+    """Interface every back end implements."""
+
+    model_name: str = "unknown"
+
+    @abstractmethod
+    def complete(self, request: LLMRequest) -> LLMResponse:
+        """Serve one completion (may raise :class:`ProviderError`)."""
+
+
+class SimulatedProvider(LLMProvider):
+    """Deterministic skill-routed simulation of a 2023-era instruction LLM.
+
+    Each prompt is answered by the first matching skill against the
+    provider's :class:`KnowledgeBase`.  Latency is modelled (not slept) as a
+    function of token counts so benchmarks can report realistic timings.
+    """
+
+    model_name = "sim-gpt-2023"
+
+    def __init__(
+        self,
+        knowledge: KnowledgeBase | None = None,
+        skills: list[Skill] | None = None,
+    ):
+        self.knowledge = knowledge or KnowledgeBase()
+        self.skills = skills if skills is not None else default_skills()
+        self.calls_served = 0
+
+    def complete(self, request: LLMRequest) -> LLMResponse:
+        """Route ``request.prompt`` to a skill and answer deterministically."""
+        for skill in self.skills:
+            if skill.matches(request.prompt):
+                text = skill.respond(request.prompt, self.knowledge)
+                break
+        else:  # pragma: no cover - default_skills ends with a catch-all
+            raise ProviderError("no skill matched the prompt")
+        prompt_tokens = count_tokens(request.prompt)
+        completion_tokens = min(count_tokens(text), request.max_tokens)
+        self.calls_served += 1
+        latency = 0.25 + 0.004 * prompt_tokens + 0.018 * completion_tokens
+        return LLMResponse(
+            text=text,
+            prompt_tokens=prompt_tokens,
+            completion_tokens=completion_tokens,
+            model=self.model_name,
+            skill=skill.name,
+            latency_seconds=latency,
+        )
+
+
+class FlakyProvider(LLMProvider):
+    """Failure-injection wrapper: a fraction of calls raise transient errors.
+
+    Used by the test suite to exercise the service's retry path.  Failures
+    are deterministic in the call index so tests are stable.
+    """
+
+    def __init__(
+        self,
+        inner: LLMProvider,
+        failure_rate: float = 0.2,
+        rate_limit_rate: float = 0.0,
+        seed_tag: str = "flaky",
+    ):
+        self.inner = inner
+        self.model_name = inner.model_name
+        self.failure_rate = failure_rate
+        self.rate_limit_rate = rate_limit_rate
+        self.seed_tag = seed_tag
+        self._counter = 0
+
+    def complete(self, request: LLMRequest) -> LLMResponse:
+        """Fail deterministically by call index, else delegate."""
+        self._counter += 1
+        roll = stable_unit(self.seed_tag, self._counter)
+        if roll < self.rate_limit_rate:
+            raise RateLimitError(retry_after=0.5)
+        if roll < self.rate_limit_rate + self.failure_rate:
+            raise ProviderError(f"simulated transient outage on call {self._counter}")
+        return self.inner.complete(request)

@@ -1,0 +1,228 @@
+"""The LLM service: caching, budgets, retries and the call ledger.
+
+Lingua Manga's "Highly Performant" property (paper section 1) is about
+*minimising LLM service calls* — every cost and call-count number in the
+evaluation is measured here.  The service wraps a provider with:
+
+- a **response cache** (identical prompts are answered locally for free),
+- a **budget** (max calls and/or max dollars; exceeding raises
+  :class:`BudgetExceededError`),
+- a **retry policy** for transient provider failures, and
+- a **ledger** recording every call with token counts, cost and purpose.
+
+Time is virtual: latency is accumulated on a clock attribute rather than
+slept, so experiments report realistic latency totals instantly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.llm.errors import BudgetExceededError, ProviderError, RateLimitError
+from repro.llm.providers import LLMProvider, LLMRequest, LLMResponse, SimulatedProvider
+from repro.llm.tokenizer import estimate_cost
+
+__all__ = ["CallRecord", "UsageSummary", "LLMService"]
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """One completed request (cached or served)."""
+
+    prompt: str
+    response_text: str
+    prompt_tokens: int
+    completion_tokens: int
+    cost: float
+    cached: bool
+    skill: str
+    purpose: str
+    latency_seconds: float
+    retries: int = 0
+
+
+@dataclass(frozen=True)
+class UsageSummary:
+    """Aggregated usage over a set of call records."""
+
+    total_calls: int
+    served_calls: int
+    cached_calls: int
+    prompt_tokens: int
+    completion_tokens: int
+    cost: float
+    latency_seconds: float
+
+    def to_text(self) -> str:
+        """One-line human-readable rendering."""
+        return (
+            f"calls={self.total_calls} (served={self.served_calls}, "
+            f"cached={self.cached_calls}) tokens={self.prompt_tokens}+"
+            f"{self.completion_tokens} cost=${self.cost:.4f} "
+            f"latency={self.latency_seconds:.1f}s"
+        )
+
+
+class LLMService:
+    """Cached, budgeted, retrying front end over an :class:`LLMProvider`."""
+
+    def __init__(
+        self,
+        provider: LLMProvider | None = None,
+        cache_enabled: bool = True,
+        max_calls: int | None = None,
+        max_cost: float | None = None,
+        max_retries: int = 3,
+        backoff_seconds: float = 0.5,
+    ):
+        self.provider = provider or SimulatedProvider()
+        self.cache_enabled = cache_enabled
+        self.max_calls = max_calls
+        self.max_cost = max_cost
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+        self.records: list[CallRecord] = []
+        self.clock_seconds = 0.0
+        self._cache: dict[str, LLMResponse] = {}
+
+    # -- core API --------------------------------------------------------------
+
+    def complete(self, prompt: str, purpose: str = "", max_tokens: int = 256) -> str:
+        """Answer ``prompt``; returns the response text.
+
+        Raises :class:`BudgetExceededError` when the call would exceed the
+        configured budget, and :class:`ProviderError` when the provider keeps
+        failing beyond the retry limit.
+        """
+        if self.cache_enabled and prompt in self._cache:
+            response = self._cache[prompt]
+            self.records.append(
+                CallRecord(
+                    prompt=prompt,
+                    response_text=response.text,
+                    prompt_tokens=response.prompt_tokens,
+                    completion_tokens=response.completion_tokens,
+                    cost=0.0,
+                    cached=True,
+                    skill=response.skill,
+                    purpose=purpose,
+                    latency_seconds=0.0,
+                )
+            )
+            return response.text
+
+        self._check_budget()
+        request = LLMRequest(prompt=prompt, max_tokens=max_tokens)
+        response, retries = self._complete_with_retries(request)
+        cost = estimate_cost(response.prompt_tokens, response.completion_tokens)
+        self.clock_seconds += response.latency_seconds
+        self.records.append(
+            CallRecord(
+                prompt=prompt,
+                response_text=response.text,
+                prompt_tokens=response.prompt_tokens,
+                completion_tokens=response.completion_tokens,
+                cost=cost,
+                cached=False,
+                skill=response.skill,
+                purpose=purpose,
+                latency_seconds=response.latency_seconds,
+                retries=retries,
+            )
+        )
+        if self.cache_enabled:
+            self._cache[prompt] = response
+        return response.text
+
+    def _complete_with_retries(self, request: LLMRequest) -> tuple[LLMResponse, int]:
+        last_error: ProviderError | None = None
+        for attempt in range(self.max_retries + 1):
+            try:
+                return self.provider.complete(request), attempt
+            except RateLimitError as error:
+                last_error = error
+                self.clock_seconds += error.retry_after
+            except ProviderError as error:
+                last_error = error
+                self.clock_seconds += self.backoff_seconds * (2**attempt)
+        raise ProviderError(
+            f"provider failed after {self.max_retries + 1} attempts: {last_error}"
+        )
+
+    def _check_budget(self) -> None:
+        if self.max_calls is not None and self.served_calls >= self.max_calls:
+            raise BudgetExceededError(
+                f"call budget exhausted ({self.served_calls}/{self.max_calls})"
+            )
+        if self.max_cost is not None and self.total_cost >= self.max_cost:
+            raise BudgetExceededError(
+                f"cost budget exhausted (${self.total_cost:.4f}/${self.max_cost:.4f})"
+            )
+
+    # -- accounting --------------------------------------------------------------
+
+    @property
+    def served_calls(self) -> int:
+        """Calls that actually hit the provider (excludes cache hits)."""
+        return sum(1 for r in self.records if not r.cached)
+
+    @property
+    def cached_calls(self) -> int:
+        """Calls answered from the local cache."""
+        return sum(1 for r in self.records if r.cached)
+
+    @property
+    def total_cost(self) -> float:
+        """Accumulated dollar cost."""
+        return sum(r.cost for r in self.records)
+
+    def usage(self, purpose: str | None = None) -> UsageSummary:
+        """Aggregate usage, optionally filtered to one ``purpose`` label."""
+        records: Iterable[CallRecord] = self.records
+        if purpose is not None:
+            records = [r for r in self.records if r.purpose == purpose]
+        records = list(records)
+        return UsageSummary(
+            total_calls=len(records),
+            served_calls=sum(1 for r in records if not r.cached),
+            cached_calls=sum(1 for r in records if r.cached),
+            prompt_tokens=sum(r.prompt_tokens for r in records),
+            completion_tokens=sum(r.completion_tokens for r in records),
+            cost=sum(r.cost for r in records),
+            latency_seconds=sum(r.latency_seconds for r in records),
+        )
+
+    def ledger_table(self):
+        """The call ledger as a :class:`repro.storage.table.Table`.
+
+        Lets the usage data flow through the same tooling as any other
+        table — SQL over your LLM spend, profiling, the UI's table views.
+        """
+        from repro.storage.table import Table
+
+        return Table.from_records(
+            "llm_ledger",
+            [
+                {
+                    "purpose": r.purpose,
+                    "skill": r.skill,
+                    "cached": r.cached,
+                    "prompt_tokens": r.prompt_tokens,
+                    "completion_tokens": r.completion_tokens,
+                    "cost": r.cost,
+                    "latency_seconds": r.latency_seconds,
+                    "retries": r.retries,
+                }
+                for r in self.records
+            ],
+        )
+
+    def reset_usage(self) -> None:
+        """Clear the ledger and virtual clock (cache is kept)."""
+        self.records.clear()
+        self.clock_seconds = 0.0
+
+    def clear_cache(self) -> None:
+        """Drop all cached responses."""
+        self._cache.clear()

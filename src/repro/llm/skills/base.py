@@ -1,0 +1,95 @@
+"""Skill interface and prompt-parsing helpers for the simulated LLM.
+
+A *skill* is one capability of the simulated model (entity matching, code
+generation, ...).  The provider routes each prompt to the first skill whose
+``matches`` accepts it — a deterministic stand-in for what a real LLM does
+implicitly.  Prompts are plain text; these helpers extract the labelled
+sections the built-in prompt templates emit (``Record A: {...}``,
+``Input: ...``), while tolerating the looser phrasing of hand-written
+prompts.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.llm.knowledge import KnowledgeBase
+
+__all__ = ["Skill", "extract_json_field", "extract_text_field", "count_examples"]
+
+
+class Skill(ABC):
+    """One capability of the simulated LLM."""
+
+    #: short identifier recorded in the call ledger
+    name: str = "skill"
+
+    @abstractmethod
+    def matches(self, prompt: str) -> bool:
+        """Whether this skill should answer ``prompt``."""
+
+    @abstractmethod
+    def respond(self, prompt: str, kb: KnowledgeBase) -> str:
+        """The model's textual answer to ``prompt``."""
+
+
+def extract_json_field(prompt: str, label: str) -> dict[str, Any] | None:
+    """Parse ``<label>: {json object}`` out of ``prompt``.
+
+    The object may span lines; the balanced ``{...}`` after the *last*
+    occurrence of the label is parsed — few-shot prompts repeat the label
+    inside worked examples, and the actual payload always comes last.
+    Returns ``None`` when the label or valid JSON is absent.
+    """
+    pattern = re.compile(re.escape(label) + r"\s*:\s*\{", re.IGNORECASE)
+    matches = list(pattern.finditer(prompt))
+    if not matches:
+        return None
+    match = matches[-1]
+    start = match.end() - 1
+    depth = 0
+    in_string = False
+    escaped = False
+    for i in range(start, len(prompt)):
+        ch = prompt[i]
+        if in_string:
+            if escaped:
+                escaped = False
+            elif ch == "\\":
+                escaped = True
+            elif ch == '"':
+                in_string = False
+            continue
+        if ch == '"':
+            in_string = True
+        elif ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth == 0:
+                try:
+                    return json.loads(prompt[start : i + 1])
+                except json.JSONDecodeError:
+                    return None
+    return None
+
+
+def extract_text_field(prompt: str, label: str) -> str | None:
+    """Parse ``<label>: value`` (to end of line) out of ``prompt``.
+
+    Takes the *last* occurrence: few-shot prompts repeat field labels inside
+    examples, and the payload always follows them.
+    """
+    pattern = re.compile(
+        re.escape(label) + r"\s*:\s*(.+?)\s*$", re.IGNORECASE | re.MULTILINE
+    )
+    matches = list(pattern.finditer(prompt))
+    return matches[-1].group(1).strip() if matches else None
+
+
+def count_examples(prompt: str) -> int:
+    """Number of worked examples embedded in the prompt (few-shot signal)."""
+    return len(re.findall(r"^Example(?:\s+\d+)?\s*:", prompt, re.IGNORECASE | re.MULTILINE))

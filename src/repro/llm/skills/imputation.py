@@ -1,0 +1,69 @@
+"""Data-imputation skill: fill a missing attribute from world knowledge.
+
+The flagship example from paper section 4.3: deduce that "PlayStation 2
+Memory Card 8MB" is manufactured by Sony.  The knowledge base answers from
+its (partial, occasionally hallucinating) view of the product catalogue.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro._util import stable_unit
+from repro.llm.knowledge import KnowledgeBase
+from repro.llm.skills.base import Skill, extract_json_field, extract_text_field
+
+__all__ = ["ImputationSkill"]
+
+_TRIGGER = re.compile(
+    r"manufactur|who (makes|produces)|impute|fill in the missing|missing attribute",
+    re.IGNORECASE,
+)
+
+
+class ImputationSkill(Skill):
+    """Answer "which company makes this product?" style prompts."""
+
+    name = "imputation"
+
+    def matches(self, prompt: str) -> bool:
+        return bool(_TRIGGER.search(prompt))
+
+    def respond(self, prompt: str, kb: KnowledgeBase) -> str:
+        record = extract_json_field(prompt, "Product") or extract_json_field(
+            prompt, "Record"
+        )
+        if record is not None:
+            # Reason like an LLM: the product *name* names the product; a
+            # description may advertise compatibility with another brand, so
+            # it is only consulted when the name is inconclusive.
+            name = str(record.get("name") or "")
+            text = name
+            brand, confidence = kb.manufacturer_for(name)
+            if brand is None:
+                text = " ".join(
+                    str(v) for k, v in sorted(record.items()) if v is not None
+                )
+                brand, confidence = kb.manufacturer_for(text)
+        else:
+            text = (
+                extract_text_field(prompt, "Product")
+                or extract_text_field(prompt, "Input")
+                or prompt
+            )
+            brand, confidence = kb.manufacturer_for(text)
+        if brand is None:
+            return "Unknown. I cannot determine the manufacturer of this product."
+        # Prompt quality matters: a terse prompt without instructions (the
+        # FMs regime) sometimes gets a sloppy answer — the product line
+        # instead of the company, a classic confusion a good task
+        # description and output validation prevent.
+        instructed = len(prompt) > 110 and (
+            "company" in prompt.lower() or "answer with" in prompt.lower()
+        )
+        if not instructed and stable_unit("impute-sloppy", text) < 0.20:
+            line = next(
+                (word for word in text.split() if word[:1].isupper()), brand
+            )
+            return f"{line}. It looks like a {line} product."
+        return f"{brand}. The product appears to be made by {brand} (confidence {confidence:.2f})."

@@ -1,0 +1,31 @@
+"""Language-detection skill."""
+
+from __future__ import annotations
+
+import re
+
+from repro.llm.knowledge import KnowledgeBase
+from repro.llm.skills.base import Skill, extract_text_field
+from repro.text.language import detect_language
+
+__all__ = ["LanguageDetectionSkill"]
+
+_TRIGGER = re.compile(r"which language|language of|detect the language", re.IGNORECASE)
+
+
+class LanguageDetectionSkill(Skill):
+    """Identify the language of a passage (ISO 639-1 code answer)."""
+
+    name = "langdetect"
+
+    def matches(self, prompt: str) -> bool:
+        return bool(_TRIGGER.search(prompt))
+
+    def respond(self, prompt: str, kb: KnowledgeBase) -> str:
+        text = (
+            extract_text_field(prompt, "Text")
+            or extract_text_field(prompt, "Input")
+            or prompt
+        )
+        guess = detect_language(text)
+        return f"{guess.language}. The passage appears to be in '{guess.language}' (confidence {guess.confidence:.2f})."

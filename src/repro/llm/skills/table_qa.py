@@ -1,0 +1,96 @@
+"""Table question-answering skill: answer from rows pasted into the prompt.
+
+This is the *full-upload* alternative the connector exists to avoid (paper
+section 3.2): the caller serialises table rows into the prompt and asks a
+question.  The simulated model computes over exactly the rows it can see —
+so when the table was truncated to fit a prompt budget, its answers are
+wrong, which is the accuracy cost of full upload that the connector ablation
+measures.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.llm.knowledge import KnowledgeBase
+from repro.llm.skills.base import Skill, extract_text_field
+
+__all__ = ["TableQASkill"]
+
+_ROWS_RE = re.compile(r"Rows\s*:\s*(\[.*?\])\s*$", re.IGNORECASE | re.DOTALL | re.MULTILINE)
+
+
+class TableQASkill(Skill):
+    """Compute count/avg/min/max/filter answers over in-prompt rows."""
+
+    name = "table_qa"
+
+    def matches(self, prompt: str) -> bool:
+        return "Rows:" in prompt and "Question" in prompt
+
+    def respond(self, prompt: str, kb: KnowledgeBase) -> str:
+        match = _ROWS_RE.search(prompt)
+        if match is None:
+            return "I need the rows as a JSON list under 'Rows:'."
+        try:
+            rows = json.loads(match.group(1))
+        except json.JSONDecodeError:
+            return "The rows are not valid JSON; I cannot answer reliably."
+        question = (extract_text_field(prompt, "Question") or "").lower()
+        if not isinstance(rows, list):
+            return "Rows must be a JSON list of objects."
+
+        columns = sorted({key for row in rows if isinstance(row, dict) for key in row})
+
+        def find_column() -> str | None:
+            for column in columns:
+                if column.lower() in question:
+                    return column
+            return None
+
+        filtered = self._apply_filter(rows, question, columns)
+        if re.search(r"how many|number of|count", question):
+            return f"{len(filtered)}. Counting the matching rows gives {len(filtered)}."
+        column = find_column()
+        if column is not None:
+            values = [
+                row[column]
+                for row in filtered
+                if isinstance(row, dict) and isinstance(row.get(column), (int, float))
+            ]
+            if ("average" in question or "mean" in question) and values:
+                mean = sum(values) / len(values)
+                return f"{mean:g}. The average {column} over the rows is {mean:g}."
+            if any(w in question for w in ("highest", "maximum", "largest")) and values:
+                return f"{max(values):g}. The maximum {column} is {max(values):g}."
+            if any(w in question for w in ("lowest", "minimum", "smallest")) and values:
+                return f"{min(values):g}. The minimum {column} is {min(values):g}."
+            if any(w in question for w in ("total", "sum")) and values:
+                return f"{sum(values):g}. The sum of {column} is {sum(values):g}."
+        return f"{len(filtered)}. I found {len(filtered)} relevant rows."
+
+    @staticmethod
+    def _apply_filter(rows: list, question: str, columns: list[str]) -> list:
+        lowered = [c.lower() for c in columns]
+        over = re.search(r"(\w+)\s+(?:over|above|greater than|more than)\s+(\d+(?:\.\d+)?)", question)
+        if over and over.group(1) in lowered:
+            column = columns[lowered.index(over.group(1))]
+            threshold = float(over.group(2))
+            return [
+                r for r in rows
+                if isinstance(r, dict)
+                and isinstance(r.get(column), (int, float))
+                and r[column] > threshold
+            ]
+        under = re.search(r"(\w+)\s+(?:under|below|less than)\s+(\d+(?:\.\d+)?)", question)
+        if under and under.group(1) in lowered:
+            column = columns[lowered.index(under.group(1))]
+            threshold = float(under.group(2))
+            return [
+                r for r in rows
+                if isinstance(r, dict)
+                and isinstance(r.get(column), (int, float))
+                and r[column] < threshold
+            ]
+        return list(rows)

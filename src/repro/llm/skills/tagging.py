@@ -1,0 +1,48 @@
+"""Name-tagging skill: "is this phrase a person name?".
+
+The tagging operator of the paper's name-extraction pipeline (section 4.2,
+Figure 3).  Accuracy is language-sensitive: without a language hint the
+model behaves like a monolingual English tagger and degrades on
+multilingual text — the failure the demo fixes by inserting a
+language-detection module upstream.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.llm.knowledge import KnowledgeBase
+from repro.llm.skills.base import Skill, extract_text_field
+
+__all__ = ["TaggingSkill"]
+
+_TRIGGER = re.compile(r"person name|name of a person|tag.*name|is .* a name", re.IGNORECASE)
+
+
+class TaggingSkill(Skill):
+    """Yes/no person-name judgement with optional language hint."""
+
+    name = "tagging"
+
+    def matches(self, prompt: str) -> bool:
+        return bool(_TRIGGER.search(prompt)) and (
+            extract_text_field(prompt, "Phrase") is not None
+            or extract_text_field(prompt, "Input") is not None
+        )
+
+    def respond(self, prompt: str, kb: KnowledgeBase) -> str:
+        phrase = extract_text_field(prompt, "Phrase") or extract_text_field(
+            prompt, "Input"
+        )
+        if not phrase:
+            return "I need a 'Phrase:' to judge."
+        language = extract_text_field(prompt, "Language")
+        if language:
+            language = language.strip().lower()[:2]
+        verdict, confidence = kb.is_person_name(phrase, language_hint=language)
+        answer = "Yes" if verdict else "No"
+        return (
+            f"{answer}. The phrase {phrase!r} "
+            f"{'is' if verdict else 'is not'} a person name "
+            f"(confidence {confidence:.2f})."
+        )

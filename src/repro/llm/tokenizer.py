@@ -1,0 +1,34 @@
+"""Approximate tokeniser for cost accounting.
+
+Real LLM pricing is per token; this estimator mirrors the usual "one token is
+roughly four characters or three quarters of a word" rule so that cost
+numbers scale realistically with prompt size.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["count_tokens", "estimate_cost"]
+
+# Price per 1K tokens, in USD, loosely modelled on 2023-era GPT-3.5 pricing.
+PROMPT_PRICE_PER_1K = 0.0015
+COMPLETION_PRICE_PER_1K = 0.002
+
+
+def count_tokens(text: str) -> int:
+    """Estimate the token count of ``text`` (never less than 1 for non-empty)."""
+    if not text:
+        return 0
+    words = len(text.split())
+    by_chars = len(text) / 4.0
+    by_words = words * 4.0 / 3.0
+    return max(1, int(math.ceil((by_chars + by_words) / 2.0)))
+
+
+def estimate_cost(prompt_tokens: int, completion_tokens: int) -> float:
+    """Dollar cost of a call given its token counts."""
+    return (
+        prompt_tokens * PROMPT_PRICE_PER_1K / 1000.0
+        + completion_tokens * COMPLETION_PRICE_PER_1K / 1000.0
+    )

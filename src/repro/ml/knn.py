@@ -1,0 +1,68 @@
+"""k-nearest-neighbour classifier over dense feature vectors.
+
+Used as the zero-training-cost student candidate in the simulator's model
+selection, and by the IMP-style baseline's fallback path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+import numpy as np
+
+__all__ = ["KNNClassifier"]
+
+
+@dataclass
+class KNNClassifier:
+    """Cosine-distance kNN with majority vote and confidence."""
+
+    k: int = 5
+    _X: np.ndarray | None = field(default=None, repr=False)
+    _y: list[Hashable] = field(default_factory=list, repr=False)
+
+    def fit(self, X: np.ndarray, y: Sequence[Hashable]) -> "KNNClassifier":
+        """Memorise the training set; returns self."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if X.shape[0] != len(y):
+            raise ValueError("X and y must have the same number of rows")
+        norms = np.linalg.norm(X, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        self._X = X / norms
+        self._y = list(y)
+        return self
+
+    def _neighbours(self, x: np.ndarray) -> list[tuple[float, Hashable]]:
+        if self._X is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        norm = np.linalg.norm(x)
+        if norm == 0:
+            norm = 1.0
+        sims = self._X @ (x / norm)
+        k = min(self.k, len(self._y))
+        top = np.argpartition(-sims, k - 1)[:k]
+        ranked = sorted(((float(sims[i]), self._y[i]) for i in top), reverse=True)
+        return ranked
+
+    def predict_one(self, x: np.ndarray) -> Hashable:
+        """Majority label among the k nearest training points."""
+        label, _ = self.predict_with_confidence(x)
+        return label
+
+    def predict_with_confidence(self, x: np.ndarray) -> tuple[Hashable, float]:
+        """``(label, vote_fraction)`` for one query vector."""
+        neighbours = self._neighbours(np.asarray(x, dtype=np.float64))
+        votes: dict[Hashable, float] = {}
+        for sim, label in neighbours:
+            votes[label] = votes.get(label, 0.0) + max(sim, 0.0) + 1e-9
+        best = max(sorted(votes, key=repr), key=lambda label: votes[label])
+        total = sum(votes.values())
+        return best, votes[best] / total if total else 0.0
+
+    def predict(self, X: np.ndarray) -> list[Hashable]:
+        """Majority label for each row of ``X``."""
+        X = np.asarray(X, dtype=np.float64)
+        return [self.predict_one(row) for row in X]

@@ -1,0 +1,88 @@
+"""Multinomial naive Bayes over token counts.
+
+A cheap, robust text classifier used as one of the simulator's candidate
+student models and by the language-identification fallback.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from repro.text.tokenize import word_tokenize
+
+__all__ = ["MultinomialNaiveBayes"]
+
+
+@dataclass
+class MultinomialNaiveBayes:
+    """Multinomial NB on word tokens with Laplace smoothing."""
+
+    alpha: float = 1.0
+    _class_counts: Counter = field(default_factory=Counter, repr=False)
+    _token_counts: dict = field(default_factory=lambda: defaultdict(Counter), repr=False)
+    _total_tokens: Counter = field(default_factory=Counter, repr=False)
+    _vocabulary: set = field(default_factory=set, repr=False)
+
+    def fit(self, texts: Sequence[str], labels: Sequence[Hashable]) -> "MultinomialNaiveBayes":
+        """Fit from scratch on ``texts``/``labels``; returns self."""
+        if len(texts) != len(labels):
+            raise ValueError("texts and labels must have the same length")
+        if not texts:
+            raise ValueError("cannot fit on an empty dataset")
+        self._class_counts = Counter()
+        self._token_counts = defaultdict(Counter)
+        self._total_tokens = Counter()
+        self._vocabulary = set()
+        for text, label in zip(texts, labels):
+            self.partial_fit(text, label)
+        return self
+
+    def partial_fit(self, text: str, label: Hashable) -> None:
+        """Online update with one labelled example (simulator shadow mode)."""
+        tokens = word_tokenize(text.lower())
+        self._class_counts[label] += 1
+        self._token_counts[label].update(tokens)
+        self._total_tokens[label] += len(tokens)
+        self._vocabulary.update(tokens)
+
+    @property
+    def classes_(self) -> list[Hashable]:
+        """Labels seen so far, sorted for determinism."""
+        return sorted(self._class_counts, key=repr)
+
+    def _log_scores(self, text: str) -> dict[Hashable, float]:
+        if not self._class_counts:
+            raise RuntimeError("model is not fitted; call fit() first")
+        tokens = word_tokenize(text.lower())
+        total_docs = sum(self._class_counts.values())
+        vocab_size = max(len(self._vocabulary), 1)
+        scores: dict[Hashable, float] = {}
+        for label in self.classes_:
+            score = math.log(self._class_counts[label] / total_docs)
+            denom = self._total_tokens[label] + self.alpha * vocab_size
+            counts = self._token_counts[label]
+            for token in tokens:
+                score += math.log((counts[token] + self.alpha) / denom)
+            scores[label] = score
+        return scores
+
+    def predict_one(self, text: str) -> Hashable:
+        """Most probable label for ``text``."""
+        scores = self._log_scores(text)
+        return max(self.classes_, key=lambda label: scores[label])
+
+    def predict(self, texts: Sequence[str]) -> list[Hashable]:
+        """Most probable label for each text."""
+        return [self.predict_one(t) for t in texts]
+
+    def predict_with_confidence(self, text: str) -> tuple[Hashable, float]:
+        """``(label, posterior)`` via softmax of the log scores."""
+        scores = self._log_scores(text)
+        peak = max(scores.values())
+        exp = {label: math.exp(score - peak) for label, score in scores.items()}
+        total = sum(exp.values())
+        best = max(self.classes_, key=lambda label: exp[label])
+        return best, exp[best] / total

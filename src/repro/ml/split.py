@@ -1,0 +1,72 @@
+"""Seeded dataset splitting utilities."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable, Sequence, TypeVar
+
+from repro._util import seeded_rng
+
+T = TypeVar("T")
+
+__all__ = ["train_test_split", "stratified_split", "kfold_indices"]
+
+
+def train_test_split(
+    items: Sequence[T], test_fraction: float = 0.25, seed: int = 0
+) -> tuple[list[T], list[T]]:
+    """Shuffle ``items`` deterministically and split off ``test_fraction``."""
+    if not 0.0 <= test_fraction <= 1.0:
+        raise ValueError("test_fraction must be in [0, 1]")
+    order = list(items)
+    seeded_rng(seed).shuffle(order)
+    cut = int(round(len(order) * (1.0 - test_fraction)))
+    return order[:cut], order[cut:]
+
+
+def stratified_split(
+    items: Sequence[T],
+    labels: Sequence[Hashable],
+    test_fraction: float = 0.25,
+    seed: int = 0,
+) -> tuple[list[T], list[T], list[Hashable], list[Hashable]]:
+    """Split preserving the label distribution in both halves."""
+    if len(items) != len(labels):
+        raise ValueError("items and labels must have the same length")
+    by_label: dict[Hashable, list[int]] = defaultdict(list)
+    for index, label in enumerate(labels):
+        by_label[label].append(index)
+    rng = seeded_rng(seed)
+    train_idx: list[int] = []
+    test_idx: list[int] = []
+    for label in sorted(by_label, key=repr):
+        indices = by_label[label]
+        rng.shuffle(indices)
+        cut = int(round(len(indices) * (1.0 - test_fraction)))
+        train_idx.extend(indices[:cut])
+        test_idx.extend(indices[cut:])
+    rng.shuffle(train_idx)
+    rng.shuffle(test_idx)
+    return (
+        [items[i] for i in train_idx],
+        [items[i] for i in test_idx],
+        [labels[i] for i in train_idx],
+        [labels[i] for i in test_idx],
+    )
+
+
+def kfold_indices(n: int, k: int, seed: int = 0) -> list[tuple[list[int], list[int]]]:
+    """Return ``k`` deterministic ``(train_indices, test_indices)`` folds."""
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    if n < k:
+        raise ValueError("need at least k items")
+    order = list(range(n))
+    seeded_rng(seed).shuffle(order)
+    folds = [order[i::k] for i in range(k)]
+    out = []
+    for i in range(k):
+        test = sorted(folds[i])
+        train = sorted(x for j, fold in enumerate(folds) if j != i for x in fold)
+        out.append((train, test))
+    return out

@@ -1,0 +1,143 @@
+"""CART-style decision tree classifier (gini impurity), pure numpy.
+
+Building block for the Magellan-style random forest baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro._util import seeded_rng
+
+__all__ = ["DecisionTree"]
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    prediction: float = 0.5  # P(y=1) at a leaf
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(y: np.ndarray) -> float:
+    if y.size == 0:
+        return 0.0
+    p = float(y.mean())
+    return 2.0 * p * (1.0 - p)
+
+
+@dataclass
+class DecisionTree:
+    """Binary classification tree with depth / leaf-size / feature-sampling knobs.
+
+    ``max_features`` below 1.0 samples a random feature subset per split,
+    which is what makes a bagged ensemble of these trees a random forest.
+    """
+
+    max_depth: int = 8
+    min_leaf: int = 2
+    max_features: float = 1.0
+    seed: int = 0
+    _root: _Node | None = field(default=None, repr=False)
+
+    def fit(self, X: np.ndarray, y: Sequence[int]) -> "DecisionTree":
+        """Fit on matrix ``X`` and 0/1 labels ``y``; returns self."""
+        X = np.asarray(X, dtype=np.float64)
+        y_arr = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        if X.shape[0] != y_arr.shape[0]:
+            raise ValueError("X and y must have the same number of rows")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        rng = seeded_rng(self.seed)
+        self._root = self._build(X, y_arr, depth=0, rng=rng)
+        return self
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int, rng) -> _Node:
+        node = _Node(prediction=float(y.mean()) if y.size else 0.5)
+        if (
+            depth >= self.max_depth
+            or y.size < 2 * self.min_leaf
+            or _gini(y) == 0.0
+        ):
+            return node
+        n_features = X.shape[1]
+        k = max(1, int(round(self.max_features * n_features)))
+        candidates = (
+            list(range(n_features))
+            if k >= n_features
+            else sorted(rng.sample(range(n_features), k))
+        )
+        best_gain = 0.0
+        best: tuple[int, float] | None = None
+        parent_impurity = _gini(y)
+        for feature in candidates:
+            column = X[:, feature]
+            # Candidate thresholds: midpoints between distinct sorted values.
+            values = np.unique(column)
+            if values.size < 2:
+                continue
+            thresholds = (values[:-1] + values[1:]) / 2.0
+            if thresholds.size > 16:
+                idx = np.linspace(0, thresholds.size - 1, 16).astype(int)
+                thresholds = thresholds[idx]
+            for threshold in thresholds:
+                mask = column <= threshold
+                n_left = int(mask.sum())
+                n_right = y.size - n_left
+                if n_left < self.min_leaf or n_right < self.min_leaf:
+                    continue
+                gain = parent_impurity - (
+                    n_left / y.size * _gini(y[mask])
+                    + n_right / y.size * _gini(y[~mask])
+                )
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best = (feature, float(threshold))
+        if best is None:
+            return node
+        feature, threshold = best
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1, rng)
+        node.right = self._build(X[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """P(y=1) per row."""
+        if self._root is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty(X.shape[0], dtype=np.float64)
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.prediction
+        return out
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """0/1 predictions."""
+        return (self.predict_proba(X) >= threshold).astype(int)
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        return walk(self._root)

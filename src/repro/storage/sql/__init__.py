@@ -1,0 +1,33 @@
+"""SQL subset: lexer, parser, AST and executor."""
+
+from repro.storage.sql.ast import (
+    Aggregate,
+    CreateTableStatement,
+    DeleteStatement,
+    InsertStatement,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Statement,
+)
+from repro.storage.sql.executor import SqlExecutionError, execute_statement
+from repro.storage.sql.lexer import SqlLexError, SqlToken, tokenize_sql
+from repro.storage.sql.parser import SqlParseError, parse_sql
+
+__all__ = [
+    "Aggregate",
+    "CreateTableStatement",
+    "DeleteStatement",
+    "InsertStatement",
+    "OrderItem",
+    "SelectItem",
+    "SelectStatement",
+    "Statement",
+    "SqlExecutionError",
+    "execute_statement",
+    "SqlLexError",
+    "SqlToken",
+    "tokenize_sql",
+    "SqlParseError",
+    "parse_sql",
+]

@@ -1,0 +1,90 @@
+"""SQL lexer for the connector's query subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SqlToken", "SqlLexError", "tokenize_sql", "KEYWORDS"]
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+    "ASC", "DESC", "LIMIT", "OFFSET", "AND", "OR", "NOT", "IN", "IS", "NULL",
+    "LIKE", "AS", "INSERT", "INTO", "VALUES", "CREATE", "TABLE", "TRUE",
+    "FALSE", "COUNT", "SUM", "AVG", "MIN", "MAX", "DELETE", "UPDATE", "SET",
+    "INT", "FLOAT", "TEXT", "BOOL",
+}
+
+_SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*", "+", "-", "/", "%", ".", ";")
+
+
+class SqlLexError(ValueError):
+    """Raised when the SQL text contains an unrecognised character."""
+
+
+@dataclass(frozen=True)
+class SqlToken:
+    """A lexical token: kind is KEYWORD, IDENT, NUMBER, STRING or SYMBOL."""
+
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize_sql(text: str) -> list[SqlToken]:
+    """Tokenise ``text``; raises :class:`SqlLexError` on bad input."""
+    tokens: list[SqlToken] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            parts: list[str] = []
+            while True:
+                if j >= n:
+                    raise SqlLexError(f"unterminated string literal at {i}")
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(text[j])
+                j += 1
+            tokens.append(SqlToken("STRING", "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            tokens.append(SqlToken("NUMBER", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in KEYWORDS:
+                tokens.append(SqlToken("KEYWORD", word.upper(), i))
+            else:
+                tokens.append(SqlToken("IDENT", word, i))
+            i = j
+            continue
+        matched = False
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, i):
+                tokens.append(SqlToken("SYMBOL", symbol, i))
+                i += len(symbol)
+                matched = True
+                break
+        if not matched:
+            raise SqlLexError(f"unexpected character {ch!r} at position {i}")
+    return tokens

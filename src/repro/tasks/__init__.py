@@ -1,0 +1,52 @@
+"""Packaged data-curation tasks: the paper's demo applications plus the
+blocking and discovery stages a full deployment needs."""
+
+from repro.tasks.blocking import BlockingResult, block_records
+from repro.tasks.discovery import TableMatch, search_tables
+from repro.tasks.profiling import (
+    Anomaly,
+    ColumnProfile,
+    TableProfile,
+    detect_anomalies,
+    profile_table,
+    summarize_table,
+)
+from repro.tasks.entity_resolution import (
+    ERResult,
+    pairs_as_inputs,
+    pick_examples,
+    run_lingua_manga_er,
+)
+from repro.tasks.imputation import (
+    ImputationResult,
+    run_hybrid_imputation,
+    run_llm_imputation,
+)
+from repro.tasks.name_extraction import (
+    NameExtractionResult,
+    run_name_extraction,
+    score_extractions,
+)
+
+__all__ = [
+    "BlockingResult",
+    "block_records",
+    "TableMatch",
+    "search_tables",
+    "Anomaly",
+    "ColumnProfile",
+    "TableProfile",
+    "detect_anomalies",
+    "profile_table",
+    "summarize_table",
+    "ERResult",
+    "pairs_as_inputs",
+    "pick_examples",
+    "run_lingua_manga_er",
+    "ImputationResult",
+    "run_hybrid_imputation",
+    "run_llm_imputation",
+    "NameExtractionResult",
+    "run_name_extraction",
+    "score_extractions",
+]

@@ -1,0 +1,95 @@
+"""Data-imputation task: the section 4.3 flow, packaged.
+
+Two Lingua Manga variants are provided, matching the paper's comparison:
+
+- **pure LLM module** — every record goes to the LLM (accuracy 93.92% in
+  the paper);
+- **optimized hybrid** — the validator-repaired LLMGC module resolves
+  brand-mentioning records locally and escalates only the hard ones,
+  "using only 1/6 LLM calls to achieve higher accuracy" (94.48%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dsl.builder import PipelineBuilder
+from repro.core.runtime.system import LinguaManga
+from repro.core.templates.library import get_template
+from repro.datasets.imputation import ImputationRecord
+from repro.ml.metrics import accuracy
+
+__all__ = ["ImputationResult", "run_llm_imputation", "run_hybrid_imputation"]
+
+
+@dataclass(frozen=True)
+class ImputationResult:
+    """Outcome of one imputation run."""
+
+    method: str
+    accuracy: float
+    predictions: list[str]
+    llm_calls: int
+    cost: float
+
+
+def _score(
+    method: str,
+    system: LinguaManga,
+    records: list[ImputationRecord],
+    raw_predictions: list,
+    calls: int,
+    cost: float,
+) -> ImputationResult:
+    predictions = [
+        "Unknown" if p is None else str(p).strip() for p in raw_predictions
+    ]
+    return ImputationResult(
+        method=method,
+        accuracy=accuracy([r.manufacturer for r in records], predictions),
+        predictions=predictions,
+        llm_calls=calls,
+        cost=cost,
+    )
+
+
+def run_llm_imputation(
+    system: LinguaManga, records: list[ImputationRecord]
+) -> ImputationResult:
+    """Pure LLM-module pipeline: one (validated) prompt per record."""
+    pipeline = (
+        PipelineBuilder("imputation_pure_llm", "LLM module for every record")
+        .load(source="records")
+        .impute(impl="llm")
+        .save(key="imputed")
+        .build()
+    )
+    before = system.usage()
+    report = system.run(pipeline, {"records": [r.visible() for r in records]})
+    after = system.usage()
+    return _score(
+        "pure_llm",
+        system,
+        records,
+        next(iter(report.outputs.values())),
+        after.served_calls - before.served_calls,
+        after.cost - before.cost,
+    )
+
+
+def run_hybrid_imputation(
+    system: LinguaManga, records: list[ImputationRecord]
+) -> ImputationResult:
+    """The expert template: LLMGC rules + LLM escalation (Figure 4)."""
+    pipeline = get_template("data_imputation").instantiate()
+    before = system.usage()
+    report = system.run(pipeline, {"records": [r.visible() for r in records]})
+    after = system.usage()
+    return _score(
+        "hybrid_llmgc",
+        system,
+        records,
+        next(iter(report.outputs.values())),
+        after.served_calls - before.served_calls,
+        after.cost - before.cost,
+    )

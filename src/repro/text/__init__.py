@@ -1,0 +1,68 @@
+"""Text and NLP substrate: tokenisation, similarity, phrases, language ID."""
+
+from repro.text.language import LanguageGuess, detect_language
+from repro.text.normalize import (
+    expand_abbreviations,
+    extract_numbers,
+    normalize_text,
+    normalize_units,
+    normalize_whitespace,
+    strip_accents,
+)
+from repro.text.phrases import PhraseSpan, naive_noun_phrases, noun_phrases
+from repro.text.similarity import (
+    TfIdfModel,
+    cosine_similarity,
+    dice_similarity,
+    jaccard_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    monge_elkan_similarity,
+    numeric_similarity,
+    overlap_coefficient,
+    qgram_similarity,
+    tfidf_cosine,
+)
+from repro.text.tokenize import (
+    Token,
+    char_ngrams,
+    ngrams,
+    sentence_split,
+    tokens_with_spans,
+    word_tokenize,
+)
+
+__all__ = [
+    "LanguageGuess",
+    "detect_language",
+    "expand_abbreviations",
+    "extract_numbers",
+    "normalize_text",
+    "normalize_units",
+    "normalize_whitespace",
+    "strip_accents",
+    "PhraseSpan",
+    "naive_noun_phrases",
+    "noun_phrases",
+    "TfIdfModel",
+    "cosine_similarity",
+    "dice_similarity",
+    "jaccard_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "monge_elkan_similarity",
+    "numeric_similarity",
+    "overlap_coefficient",
+    "qgram_similarity",
+    "tfidf_cosine",
+    "Token",
+    "char_ngrams",
+    "ngrams",
+    "sentence_split",
+    "tokens_with_spans",
+    "word_tokenize",
+]

@@ -1,0 +1,17 @@
+"""Terminal UI layer reproducing the paper's Figure 5 views."""
+
+from repro.ui.views import (
+    ModuleInspectorView,
+    PipelineCanvasView,
+    RunLogView,
+    UsagePanelView,
+    render_screen,
+)
+
+__all__ = [
+    "ModuleInspectorView",
+    "PipelineCanvasView",
+    "RunLogView",
+    "UsagePanelView",
+    "render_screen",
+]

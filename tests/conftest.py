@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler.context import CompilerContext
+from repro.core.runtime.system import LinguaManga
+from repro.llm.providers import SimulatedProvider
+from repro.llm.service import LLMService
+
+
+@pytest.fixture()
+def service() -> LLMService:
+    """A fresh simulated LLM service."""
+    return LLMService(SimulatedProvider())
+
+
+@pytest.fixture()
+def context(service: LLMService) -> CompilerContext:
+    """A compiler context bound to a fresh service."""
+    return CompilerContext(service=service)
+
+
+@pytest.fixture()
+def system() -> LinguaManga:
+    """A fresh Lingua Manga system."""
+    return LinguaManga()

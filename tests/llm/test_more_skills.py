@@ -1,0 +1,129 @@
+"""Tests for TableQA, summarisation, schema matching and the codegen skills."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.llm.knowledge import KnowledgeBase
+from repro.llm.providers import LLMRequest, SimulatedProvider
+from repro.llm.skills.table_qa import TableQASkill
+
+
+@pytest.fixture()
+def kb() -> KnowledgeBase:
+    return KnowledgeBase()
+
+
+def ask(prompt: str) -> str:
+    return SimulatedProvider().complete(LLMRequest(prompt=prompt)).text
+
+
+ROWS = json.dumps(
+    [
+        {"id": 1, "price": 10.0, "stock": 5},
+        {"id": 2, "price": 30.0, "stock": 0},
+        {"id": 3, "price": 50.0, "stock": 2},
+    ]
+)
+
+
+class TestTableQA:
+    def prompt(self, question: str, rows: str = ROWS) -> str:
+        return f"Answer from the rows.\nRows: {rows}\nQuestion: {question}"
+
+    def test_count_with_filter(self, kb):
+        answer = TableQASkill().respond(self.prompt("How many rows have price over 20?"), kb)
+        assert answer.startswith("2")
+
+    def test_count_under_filter(self, kb):
+        answer = TableQASkill().respond(self.prompt("How many rows have price under 20?"), kb)
+        assert answer.startswith("1")
+
+    def test_average(self, kb):
+        answer = TableQASkill().respond(self.prompt("What is the average of price?"), kb)
+        assert answer.startswith("30")
+
+    def test_max_min_sum(self, kb):
+        skill = TableQASkill()
+        assert skill.respond(self.prompt("What is the highest price?"), kb).startswith("50")
+        assert skill.respond(self.prompt("What is the lowest price?"), kb).startswith("10")
+        assert skill.respond(self.prompt("What is the total of price?"), kb).startswith("90")
+
+    def test_truncated_rows_give_wrong_count(self, kb):
+        # The whole point of the connector: answers computed over truncated
+        # uploads are silently wrong.
+        truncated = json.dumps([{"id": 1, "price": 10.0}])
+        answer = TableQASkill().respond(
+            self.prompt("How many rows have price over 5?", rows=truncated), kb
+        )
+        assert answer.startswith("1")  # true table had 3
+
+    def test_invalid_json_flagged(self, kb):
+        answer = TableQASkill().respond(
+            "Rows: [not json\nQuestion: how many rows?", kb
+        )
+        assert "JSON" in answer or "rows" in answer.lower()
+
+    def test_routed_by_provider(self):
+        response = SimulatedProvider().complete(
+            LLMRequest(prompt=f"Rows: {ROWS}\nQuestion: how many rows have price over 20?")
+        )
+        assert response.skill == "table_qa"
+
+
+class TestSummarization:
+    def test_summarize_takes_lead_sentences(self):
+        text = "First sentence here. Second one follows. Third is dropped maybe."
+        answer = ask(f"Summarize the text.\nText: {text}")
+        assert answer.startswith("First sentence here.")
+
+    def test_summary_shorter_than_long_input(self):
+        text = " ".join(f"Sentence number {i} is here." for i in range(30))
+        answer = ask(f"Summarize the text.\nText: {text}")
+        assert len(answer) < len(text) / 3
+
+
+class TestSchemaMatching:
+    def test_matches_similar_columns(self):
+        answer = ask(
+            "Schema matching: match the columns of the two schemas.\n"
+            "Left columns: name, phone_number, city\n"
+            "Right columns: full_name, phone, town"
+        )
+        pairs = json.loads(answer)
+        assert ["phone_number", "phone"] in pairs
+
+    def test_unmatched_columns_absent(self):
+        answer = ask(
+            "Schema matching: match the columns.\n"
+            "Left columns: abv\n"
+            "Right columns: zzz_unrelated"
+        )
+        assert json.loads(answer) == []
+
+
+class TestCodegenViaProvider:
+    def test_fresh_generation_is_revision_zero(self):
+        answer = ask("Please write a python code for this.\nTask: tokenize text")
+        assert "revision=0" in answer
+        assert "```python" in answer
+
+    def test_repair_advances_revision(self):
+        answer = ask(
+            "Please write a python code for this.\nTask: tokenize text\nRevision: 0"
+        )
+        assert "revision=1" in answer
+
+    def test_unknown_task_lists_supported(self):
+        answer = ask("Please write a python code for this.\nTask: paint a fresco")
+        assert "Supported tasks" in answer
+
+    def test_suggestion_for_failing_revision(self):
+        answer = ask(
+            "Why does this code fail the test cases? Read the code and the "
+            "failures, then suggest a fix.\nTask: tokenize text\nRevision: 0\n"
+            "Code: ...\nFailures: ..."
+        )
+        assert "regular expression" in answer.lower() or "punctuation" in answer.lower()

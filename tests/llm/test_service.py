@@ -1,0 +1,145 @@
+"""Tests for the LLM service layer: cache, budget, retries, ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm.errors import BudgetExceededError, ProviderError
+from repro.llm.providers import FlakyProvider, LLMRequest, SimulatedProvider
+from repro.llm.service import LLMService
+from repro.llm.tokenizer import count_tokens, estimate_cost
+
+PROMPT = "Which language is this? Text: El informe fue presentado ayer."
+
+
+class TestTokenizer:
+    def test_empty_is_zero(self):
+        assert count_tokens("") == 0
+
+    def test_monotone_in_length(self):
+        assert count_tokens("word " * 50) > count_tokens("word " * 5)
+
+    def test_cost_positive(self):
+        assert estimate_cost(100, 50) > 0
+
+    def test_cost_scales_with_tokens(self):
+        assert estimate_cost(2000, 100) > estimate_cost(100, 100)
+
+
+class TestCache:
+    def test_identical_prompt_served_once(self, service: LLMService):
+        first = service.complete(PROMPT)
+        second = service.complete(PROMPT)
+        assert first == second
+        assert service.served_calls == 1
+        assert service.cached_calls == 1
+
+    def test_cached_call_is_free(self, service: LLMService):
+        service.complete(PROMPT)
+        cost_after_first = service.total_cost
+        service.complete(PROMPT)
+        assert service.total_cost == cost_after_first
+
+    def test_cache_can_be_disabled(self):
+        service = LLMService(SimulatedProvider(), cache_enabled=False)
+        service.complete(PROMPT)
+        service.complete(PROMPT)
+        assert service.served_calls == 2
+
+    def test_clear_cache_forces_refetch(self, service: LLMService):
+        service.complete(PROMPT)
+        service.clear_cache()
+        service.complete(PROMPT)
+        assert service.served_calls == 2
+
+
+class TestBudget:
+    def test_call_budget_enforced(self):
+        service = LLMService(SimulatedProvider(), max_calls=2)
+        service.complete("prompt one: summarize this")
+        service.complete("prompt two: summarize that")
+        with pytest.raises(BudgetExceededError):
+            service.complete("prompt three: summarize more")
+
+    def test_cached_hits_do_not_consume_budget(self):
+        service = LLMService(SimulatedProvider(), max_calls=1)
+        service.complete(PROMPT)
+        service.complete(PROMPT)  # cache hit, fine
+        with pytest.raises(BudgetExceededError):
+            service.complete("a different prompt entirely")
+
+    def test_cost_budget_enforced(self):
+        service = LLMService(SimulatedProvider(), max_cost=1e-9)
+        service.complete(PROMPT)  # first call allowed (budget checked before)
+        with pytest.raises(BudgetExceededError):
+            service.complete("another prompt")
+
+
+class TestRetries:
+    def test_transient_failures_are_retried(self):
+        flaky = FlakyProvider(SimulatedProvider(), failure_rate=0.45, seed_tag="t1")
+        service = LLMService(flaky, max_retries=5)
+        for i in range(10):
+            assert service.complete(f"summarize document number {i}")
+        assert all(r.retries <= 5 for r in service.records)
+        assert any(r.retries > 0 for r in service.records)
+
+    def test_rate_limit_advances_clock(self):
+        flaky = FlakyProvider(
+            SimulatedProvider(), failure_rate=0.0, rate_limit_rate=0.5, seed_tag="t2"
+        )
+        service = LLMService(flaky, max_retries=6)
+        for i in range(6):
+            service.complete(f"summarize item {i}")
+        assert service.clock_seconds > 0
+
+    def test_permanent_outage_raises_after_retries(self):
+        flaky = FlakyProvider(SimulatedProvider(), failure_rate=1.0)
+        service = LLMService(flaky, max_retries=2)
+        with pytest.raises(ProviderError):
+            service.complete("anything")
+        assert service.served_calls == 0  # nothing ever succeeded
+
+
+class TestLedger:
+    def test_usage_totals_are_conserved(self, service: LLMService):
+        prompts = [f"summarize item number {i}" for i in range(5)]
+        for prompt in prompts:
+            service.complete(prompt, purpose="demo")
+        usage = service.usage()
+        assert usage.total_calls == 5
+        assert usage.cost == pytest.approx(sum(r.cost for r in service.records))
+        assert usage.prompt_tokens == sum(r.prompt_tokens for r in service.records)
+
+    def test_usage_filter_by_purpose(self, service: LLMService):
+        service.complete("summarize a", purpose="x")
+        service.complete("summarize b", purpose="y")
+        assert service.usage("x").total_calls == 1
+        assert service.usage("zzz").total_calls == 0
+
+    def test_reset_usage_keeps_cache(self, service: LLMService):
+        service.complete(PROMPT)
+        service.reset_usage()
+        assert service.usage().total_calls == 0
+        service.complete(PROMPT)
+        assert service.cached_calls == 1  # cache survived
+
+    def test_records_tag_skill(self, service: LLMService):
+        service.complete(PROMPT)
+        assert service.records[0].skill == "langdetect"
+
+    def test_usage_text_rendering(self, service: LLMService):
+        service.complete(PROMPT)
+        text = service.usage().to_text()
+        assert "calls=1" in text and "cost=$" in text
+
+
+class TestSimulatedProviderDeterminism:
+    def test_same_prompt_same_answer(self):
+        a = SimulatedProvider().complete(LLMRequest(prompt=PROMPT))
+        b = SimulatedProvider().complete(LLMRequest(prompt=PROMPT))
+        assert a.text == b.text
+
+    def test_latency_model_positive(self):
+        response = SimulatedProvider().complete(LLMRequest(prompt=PROMPT))
+        assert response.latency_seconds > 0

@@ -1,0 +1,226 @@
+"""Tests for the simulated LLM's skills and prompt routing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.llm.knowledge import KnowledgeBase
+from repro.llm.providers import LLMRequest, SimulatedProvider
+from repro.llm.skills import default_skills
+from repro.llm.skills.base import count_examples, extract_json_field, extract_text_field
+from repro.llm.skills.entity_matching import EntityMatchingSkill, match_score
+
+
+@pytest.fixture()
+def kb() -> KnowledgeBase:
+    return KnowledgeBase()
+
+
+class TestPromptParsing:
+    def test_extract_json_field(self):
+        prompt = 'Record A: {"name": "x", "n": 1}\nmore text'
+        assert extract_json_field(prompt, "Record A") == {"name": "x", "n": 1}
+
+    def test_extract_json_takes_last_occurrence(self):
+        prompt = 'Record A: {"name": "example"}\nRecord A: {"name": "payload"}'
+        assert extract_json_field(prompt, "Record A") == {"name": "payload"}
+
+    def test_extract_json_nested_braces(self):
+        prompt = 'Data: {"outer": {"inner": 2}}'
+        assert extract_json_field(prompt, "Data") == {"outer": {"inner": 2}}
+
+    def test_extract_json_missing(self):
+        assert extract_json_field("no json here", "Record A") is None
+
+    def test_extract_json_string_with_brace(self):
+        prompt = 'Data: {"text": "a } inside"}'
+        assert extract_json_field(prompt, "Data") == {"text": "a } inside"}
+
+    def test_extract_text_field(self):
+        assert extract_text_field("Phrase: John Smith\n", "Phrase") == "John Smith"
+
+    def test_extract_text_takes_last(self):
+        prompt = "Phrase: example\nPhrase: payload"
+        assert extract_text_field(prompt, "Phrase") == "payload"
+
+    def test_count_examples(self):
+        prompt = "Task: t\nExample 1:\nInput: a\nExample 2:\nInput: b\nInput: c"
+        assert count_examples(prompt) == 2
+
+
+class TestRouting:
+    def prompt_for(self, text: str) -> str:
+        provider = SimulatedProvider()
+        return provider.complete(LLMRequest(prompt=text)).skill
+
+    def test_entity_matching_routed(self):
+        prompt = (
+            "Determine if the following entities are equivalent.\n"
+            'Record A: {"name": "a"}\nRecord B: {"name": "b"}'
+        )
+        assert self.prompt_for(prompt) == "entity_matching"
+
+    def test_imputation_routed(self):
+        assert self.prompt_for('Who makes this? manufacturer\nProduct: {"name": "Walkman"}') == "imputation"
+
+    def test_tagging_routed(self):
+        assert self.prompt_for("Is this a person name?\nPhrase: John Smith") == "tagging"
+
+    def test_langdetect_routed(self):
+        assert self.prompt_for("Detect the language of the text.\nText: hola amigo") == "langdetect"
+
+    def test_codegen_routed(self):
+        assert self.prompt_for("Please write a python code for this.\nTask: tokenize text") == "codegen"
+
+    def test_nl2sql_routed(self):
+        assert self.prompt_for(
+            "Write SQL for this schema. Schema: TABLE t (a INT)\nQuestion: how many rows?"
+        ) == "nl2sql"
+
+    def test_fallback_always_answers(self):
+        assert self.prompt_for("completely unrelated request") == "chat"
+
+
+class TestEntityMatchingSkill:
+    def test_clear_match_answers_yes(self, kb: KnowledgeBase):
+        skill = EntityMatchingSkill()
+        prompt = (
+            "Task: Entity resolution: determine if the records refer to the same entity.\n"
+            "Example 1:\nPair: ...\nOutput: Yes\n"
+            'Record A: {"name": "Stone IPA", "brewery": "Stone Brewing"}\n'
+            'Record B: {"name": "Stone IPA", "brewery": "Stone Brewing"}'
+        )
+        assert skill.respond(prompt, kb).startswith("Yes")
+
+    def test_clear_nonmatch_answers_no(self, kb: KnowledgeBase):
+        skill = EntityMatchingSkill()
+        prompt = (
+            "Task: Entity resolution task with a long description of what to do "
+            "when comparing records for equivalence judgement purposes.\n"
+            "Example 1:\nPair: ...\nOutput: No\n"
+            'Record A: {"name": "Alpha Centauri Lager"}\n'
+            'Record B: {"name": "Zeta Reticuli Stout"}'
+        )
+        assert skill.respond(prompt, kb).startswith("No")
+
+    def test_missing_record_asks_for_it(self, kb: KnowledgeBase):
+        skill = EntityMatchingSkill()
+        response = skill.respond("Are these the same entity? Record A: not-json", kb)
+        assert "Record" in response
+
+    def test_match_score_identity(self):
+        record = {"name": "Stone IPA", "abv": 6.9}
+        assert match_score(record, record) == pytest.approx(1.0)
+
+    def test_match_score_symmetric(self):
+        a = {"name": "Stone IPA"}
+        b = {"name": "Stone India Pale Ale"}
+        assert match_score(a, b) == pytest.approx(match_score(b, a))
+
+    def test_match_score_ignores_ids(self):
+        a = {"name": "x", "id": 1}
+        b = {"name": "x", "id": 999}
+        assert match_score(a, b) == pytest.approx(1.0)
+
+    def test_suffix_tolerance(self):
+        a = {"song": "Midnight Dreams"}
+        b = {"song": "Midnight Dreams (Album Version)"}
+        assert match_score(a, b) > 0.9
+
+    def test_distinctive_token_mismatch_sinks_score(self):
+        a = {"beer_name": "Wild Bastard IPA"}
+        b = {"beer_name": "Wild Otter IPA"}
+        assert match_score(a, b) < 0.71
+
+
+class TestImputationSkill:
+    def test_known_product_line(self, kb: KnowledgeBase):
+        provider = SimulatedProvider(kb)
+        response = provider.complete(
+            LLMRequest(
+                prompt=(
+                    "Which company is the manufacturer of this product? Answer "
+                    'with the company name only.\nProduct: {"name": "PlayStation 2 Memory Card"}'
+                )
+            )
+        )
+        assert response.text.startswith("Sony")
+
+    def test_unknown_product(self, kb: KnowledgeBase):
+        provider = SimulatedProvider(kb)
+        response = provider.complete(
+            LLMRequest(
+                prompt=(
+                    "Which company is the manufacturer of this product? Answer "
+                    'with the company name only.\nProduct: {"name": "Generic Widget 3000"}'
+                )
+            )
+        )
+        assert response.text.startswith("Unknown")
+
+
+class TestTaggingSkill:
+    def test_language_hint_improves_foreign_names(self, kb: KnowledgeBase):
+        provider = SimulatedProvider(kb)
+        hinted = provider.complete(
+            LLMRequest(prompt="Is this a person name?\nPhrase: Hans Müller\nLanguage: de")
+        )
+        assert hinted.text.startswith("Yes")
+
+    def test_rejects_company(self, kb: KnowledgeBase):
+        provider = SimulatedProvider(kb)
+        response = provider.complete(
+            LLMRequest(prompt="Is this a person name?\nPhrase: Acme Corporation")
+        )
+        assert response.text.startswith("No")
+
+
+class TestNL2SQL:
+    def respond(self, question: str) -> str:
+        provider = SimulatedProvider()
+        prompt = (
+            "Translate the question into a single SQL SELECT statement for this schema. "
+            "Answer with SQL only.\n"
+            "Schema: TABLE products (id INT, name TEXT, price FLOAT)\n"
+            f"Question: {question}"
+        )
+        return provider.complete(LLMRequest(prompt=prompt)).text
+
+    def test_count_question(self):
+        sql = self.respond("How many products have price over 20?")
+        assert sql.startswith("SELECT COUNT(*)")
+        assert "price > 20" in sql
+
+    def test_average_question(self):
+        assert "AVG(price)" in self.respond("What is the average of price?")
+
+    def test_max_question(self):
+        sql = self.respond("Which product has the highest price?")
+        assert "ORDER BY price DESC LIMIT 1" in sql
+
+    def test_listing_question(self):
+        sql = self.respond("Show the name of products under 10")
+        assert sql.startswith("SELECT name")
+
+
+class TestClassification:
+    def test_classify_picks_overlapping_choice(self):
+        provider = SimulatedProvider()
+        prompt = (
+            "Classify the input into exactly one of the choices.\n"
+            "Choices: beverage | furniture | music\n"
+            "Input: a hoppy beverage from the brewery"
+        )
+        assert provider.complete(LLMRequest(prompt=prompt)).text == "beverage"
+
+
+class TestSkillStackOrder:
+    def test_fallback_is_last(self):
+        skills = default_skills()
+        assert skills[-1].name == "chat"
+
+    def test_all_skills_have_unique_names(self):
+        names = [s.name for s in default_skills()]
+        assert len(names) == len(set(names))

@@ -1,0 +1,92 @@
+"""Tests for repro.ml.metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_recall_f1,
+)
+
+LABELS = st.lists(st.integers(0, 1), min_size=1, max_size=40)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_half(self):
+        assert accuracy([1, 0], [1, 1]) == 0.5
+
+    def test_empty_is_zero(self):
+        assert accuracy([], []) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy([1], [1, 0])
+
+    def test_works_with_string_labels(self):
+        assert accuracy(["a", "b"], ["a", "c"]) == 0.5
+
+
+class TestPrecisionRecallF1:
+    def test_known_values(self):
+        # tp=2 fp=1 fn=1
+        p, r, f1 = precision_recall_f1([1, 1, 1, 0], [1, 1, 0, 1])
+        assert p == pytest.approx(2 / 3)
+        assert r == pytest.approx(2 / 3)
+        assert f1 == pytest.approx(2 / 3)
+
+    def test_no_predicted_positives(self):
+        p, r, f1 = precision_recall_f1([1, 1], [0, 0])
+        assert (p, r, f1) == (0.0, 0.0, 0.0)
+
+    def test_no_actual_positives(self):
+        p, _, _ = precision_recall_f1([0, 0], [1, 0])
+        assert p == 0.0
+
+    def test_custom_positive_label(self):
+        _, recall, _ = precision_recall_f1(["y", "n"], ["y", "y"], positive="y")
+        assert recall == 1.0
+
+    @given(LABELS)
+    def test_perfect_predictions_give_perfect_f1(self, y: list[int]):
+        if 1 in y:
+            assert f1_score(y, y) == 1.0
+
+    @given(LABELS, LABELS)
+    def test_f1_in_unit_range(self, a: list[int], b: list[int]):
+        n = min(len(a), len(b))
+        assert 0.0 <= f1_score(a[:n], b[:n]) <= 1.0
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        cm = confusion_matrix([1, 1, 0], [1, 0, 0])
+        assert cm == {(1, 1): 1, (1, 0): 1, (0, 0): 1}
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([1], [])
+
+
+class TestClassificationReport:
+    def test_macro_f1_and_accuracy(self):
+        report = classification_report(["a", "a", "b"], ["a", "b", "b"])
+        assert report.accuracy == pytest.approx(2 / 3)
+        assert 0.0 < report.macro_f1() <= 1.0
+
+    def test_support_counts(self):
+        report = classification_report(["a", "a", "b"], ["a", "a", "b"])
+        assert report.support == {"a": 2, "b": 1}
+
+    def test_text_rendering_mentions_all_classes(self):
+        report = classification_report(["x", "y"], ["x", "y"])
+        text = report.to_text()
+        assert "'x'" in text and "'y'" in text

@@ -1,0 +1,79 @@
+"""Tests for repro.ml.split."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.split import kfold_indices, stratified_split, train_test_split
+
+
+class TestTrainTestSplit:
+    def test_partition_is_complete(self):
+        items = list(range(20))
+        train, test = train_test_split(items, 0.25, seed=1)
+        assert sorted(train + test) == items
+
+    def test_fraction_respected(self):
+        train, test = train_test_split(list(range(100)), 0.25, seed=1)
+        assert len(test) == 25
+
+    def test_deterministic_given_seed(self):
+        a = train_test_split(list(range(50)), 0.2, seed=3)
+        b = train_test_split(list(range(50)), 0.2, seed=3)
+        assert a == b
+
+    def test_different_seeds_shuffle_differently(self):
+        a, _ = train_test_split(list(range(50)), 0.2, seed=1)
+        b, _ = train_test_split(list(range(50)), 0.2, seed=2)
+        assert a != b
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split([1, 2], 1.5)
+
+    @given(st.floats(0.0, 1.0))
+    def test_sizes_add_up(self, fraction: float):
+        train, test = train_test_split(list(range(30)), fraction, seed=0)
+        assert len(train) + len(test) == 30
+
+
+class TestStratifiedSplit:
+    def test_label_ratio_preserved(self):
+        items = list(range(100))
+        labels = [i % 2 for i in items]
+        _, _, train_labels, test_labels = stratified_split(items, labels, 0.2, seed=0)
+        assert abs(sum(train_labels) / len(train_labels) - 0.5) < 0.05
+        assert abs(sum(test_labels) / len(test_labels) - 0.5) < 0.1
+
+    def test_partition_is_complete(self):
+        items = list(range(30))
+        labels = [i % 3 for i in items]
+        train, test, _, _ = stratified_split(items, labels, 0.3, seed=0)
+        assert sorted(train + test) == items
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            stratified_split([1, 2], [0])
+
+
+class TestKFold:
+    def test_folds_partition_everything(self):
+        folds = kfold_indices(20, 4, seed=0)
+        assert len(folds) == 4
+        all_test = sorted(i for _, test in folds for i in test)
+        assert all_test == list(range(20))
+
+    def test_train_test_disjoint(self):
+        for train, test in kfold_indices(15, 3, seed=1):
+            assert not set(train) & set(test)
+            assert sorted(train + test) == list(range(15))
+
+    def test_k_less_than_two_raises(self):
+        with pytest.raises(ValueError):
+            kfold_indices(10, 1)
+
+    def test_n_less_than_k_raises(self):
+        with pytest.raises(ValueError):
+            kfold_indices(2, 3)

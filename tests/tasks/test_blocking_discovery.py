@@ -1,0 +1,106 @@
+"""Tests for the blocking and table-discovery task stages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._util import seeded_rng
+from repro.datasets.entity_resolution import _beer_corrupt, _beer_entities
+from repro.storage.database import Database
+from repro.storage.table import Table
+from repro.tasks.blocking import block_records
+from repro.tasks.discovery import search_tables
+
+
+class TestBlocking:
+    @pytest.fixture(scope="class")
+    def two_views(self):
+        rng = seeded_rng("blocking-test")
+        entities = _beer_entities(rng, 100)
+        left = [_beer_corrupt(e, rng, 0.6) for e in entities]
+        right = [_beer_corrupt(e, rng, 1.0) for e in entities]
+        return left, right
+
+    def test_recall_of_true_matches(self, two_views):
+        left, right = two_views
+        result = block_records(left, right, key="beer_name")
+        found = set(result.pairs)
+        recall = sum(1 for i in range(len(left)) if (i, i) in found) / len(left)
+        assert recall > 0.85
+
+    def test_reduction_ratio_substantial(self, two_views):
+        left, right = two_views
+        result = block_records(left, right, key="beer_name")
+        assert result.reduction_ratio > 0.9
+
+    def test_candidate_cap_respected(self, two_views):
+        left, right = two_views
+        result = block_records(left, right, key="beer_name", max_candidates_per_record=2)
+        from collections import Counter
+
+        per_left = Counter(i for i, _ in result.pairs)
+        assert max(per_left.values()) <= 2
+
+    def test_empty_inputs(self):
+        result = block_records([], [{"beer_name": "x"}], key="beer_name")
+        assert result.pairs == []
+        assert result.reduction_ratio == 1.0
+
+    def test_disjoint_vocabularies_produce_nothing(self):
+        left = [{"k": "alpha beta"}]
+        right = [{"k": "gamma delta"}]
+        assert block_records(left, right, key="k").pairs == []
+
+    def test_summary_text(self, two_views):
+        left, right = two_views
+        assert "candidate pairs" in block_records(left, right, key="beer_name").summary()
+
+
+class TestDiscovery:
+    @pytest.fixture()
+    def db(self) -> Database:
+        database = Database()
+        database.register(
+            Table.from_records(
+                "customers",
+                [{"first_name": "John", "last_name": "Smith", "city": "Boston"}],
+            )
+        )
+        database.register(
+            Table.from_records(
+                "orders", [{"order_id": 1, "total": 20.0, "status": "shipped"}]
+            )
+        )
+        database.register(
+            Table.from_records("beers", [{"beer_name": "Stone IPA", "abv": 6.9}])
+        )
+        return database
+
+    def test_finds_table_by_column_concepts(self, db):
+        hits = search_tables(db, "customer names and cities")
+        assert hits[0].table == "customers"
+
+    def test_finds_table_by_values(self, db):
+        hits = search_tables(db, "records about Boston")
+        assert hits[0].table == "customers"
+
+    def test_finds_table_by_domain_word(self, db):
+        hits = search_tables(db, "beer abv strength")
+        assert hits[0].table == "beers"
+
+    def test_singular_plural_robust(self, db):
+        singular = search_tables(db, "order status")
+        assert singular and singular[0].table == "orders"
+
+    def test_no_match_returns_empty(self, db):
+        assert search_tables(db, "zzz qqq vvv") == []
+
+    def test_limit_respected(self, db):
+        assert len(search_tables(db, "name", limit=1)) <= 1
+
+    def test_empty_database(self):
+        assert search_tables(Database(), "anything") == []
+
+    def test_matched_terms_reported(self, db):
+        hits = search_tables(db, "customer city")
+        assert "city" in hits[0].matched_terms

@@ -1,0 +1,100 @@
+"""Tests for repro.text.normalize."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.normalize import (
+    expand_abbreviations,
+    extract_numbers,
+    normalize_text,
+    normalize_units,
+    normalize_whitespace,
+    strip_accents,
+)
+
+
+class TestStripAccents:
+    def test_common_accents(self):
+        assert strip_accents("Köln café") == "Koln cafe"
+
+    def test_spanish_names(self):
+        assert strip_accents("José García") == "Jose Garcia"
+
+    def test_plain_ascii_unchanged(self):
+        assert strip_accents("plain text") == "plain text"
+
+
+class TestWhitespace:
+    def test_collapses_runs(self):
+        assert normalize_whitespace("a   b\t\nc ") == "a b c"
+
+    @given(st.text(max_size=60))
+    def test_idempotent(self, text: str):
+        once = normalize_whitespace(text)
+        assert normalize_whitespace(once) == once
+
+
+class TestAbbreviations:
+    def test_street_forms(self):
+        assert expand_abbreviations("12 Main St.") == "12 Main street"
+
+    def test_company_forms(self):
+        assert expand_abbreviations("Acme Inc.") == "Acme incorporated"
+
+    def test_featuring(self):
+        assert expand_abbreviations("song feat. artist") == "song featuring artist"
+
+    def test_ipa_expands(self):
+        assert "india pale ale" in expand_abbreviations("stone ipa")
+
+
+class TestUnits:
+    def test_fluid_ounces(self):
+        assert normalize_units("12 fl oz bottle") == "12oz bottle"
+
+    def test_gigabytes(self):
+        assert normalize_units("8 GB card") == "8gb card"
+
+    def test_duration_mmss(self):
+        assert normalize_units("3:45") == "225s"
+
+    def test_duration_seconds(self):
+        assert normalize_units("225 sec") == "225s"
+
+    def test_durations_canonicalise_equal(self):
+        assert normalize_units("3:45") == normalize_units("225 seconds")
+
+    def test_percent(self):
+        assert normalize_units("5.5 %") == "5.5pct"
+
+
+class TestNormalizeText:
+    def test_full_pipeline(self):
+        assert normalize_text("Stone Brewing Co.") == "stone brewery company"
+
+    def test_equates_known_variants(self):
+        a = normalize_text("12 Main St.")
+        b = normalize_text("12 main street")
+        assert a == b
+
+    @given(st.text(max_size=60))
+    def test_idempotent(self, text: str):
+        once = normalize_text(text)
+        assert normalize_text(once) == once
+
+    @given(st.text(max_size=60))
+    def test_output_is_lowercase(self, text: str):
+        assert normalize_text(text) == normalize_text(text).lower()
+
+
+class TestExtractNumbers:
+    def test_integers_and_decimals(self):
+        assert extract_numbers("8 cards at 5.5 each") == [8.0, 5.5]
+
+    def test_no_numbers(self):
+        assert extract_numbers("no digits") == []
+
+    def test_order_preserved(self):
+        assert extract_numbers("3 then 1 then 2") == [3.0, 1.0, 2.0]
