@@ -1,4 +1,11 @@
-"""Physical plans: bound modules in execution order, plus run reports."""
+"""Physical plans: bound modules in execution order, plus run reports.
+
+Execution is resilient by construction: operators whose modules run with a
+non-``fail`` :class:`~repro.core.modules.base.ErrorPolicy` quarantine
+poisoned records instead of aborting the DAG, and the run report always
+carries the work that succeeded (``partial`` flags whether anything was
+lost, ``quarantine`` says exactly what and why).
+"""
 
 from __future__ import annotations
 
@@ -8,10 +15,11 @@ from typing import Any
 from repro.core.compiler.context import CompilerContext
 from repro.core.dsl.operators import LogicalOperator
 from repro.core.dsl.pipeline import Pipeline
-from repro.core.modules.base import Module
+from repro.core.modules.base import Module, QuarantinedRecord
 from repro.core.optimizer.cost import CostSnapshot, CostTracker
+from repro.resilience.policy import OUTCOME_FALLBACK
 
-__all__ = ["BoundOperator", "RunReport", "PhysicalPlan"]
+__all__ = ["BoundOperator", "OperatorResilience", "RunReport", "PhysicalPlan"]
 
 
 @dataclass
@@ -27,19 +35,57 @@ class BoundOperator:
 
 
 @dataclass
+class OperatorResilience:
+    """What one operator absorbed during a run."""
+
+    quarantined: int = 0
+    degraded: int = 0
+    llm_retries: int = 0
+    llm_fallbacks: int = 0
+    llm_failures: int = 0
+
+    @property
+    def any(self) -> bool:
+        """Whether anything noteworthy happened."""
+        return bool(
+            self.quarantined
+            or self.degraded
+            or self.llm_retries
+            or self.llm_fallbacks
+            or self.llm_failures
+        )
+
+    def to_text(self) -> str:
+        """One-line rendering."""
+        return (
+            f"quarantined={self.quarantined} degraded={self.degraded} "
+            f"llm_retries={self.llm_retries} llm_fallbacks={self.llm_fallbacks} "
+            f"llm_failures={self.llm_failures}"
+        )
+
+
+@dataclass
 class RunReport:
-    """What one plan execution did and what it cost."""
+    """What one plan execution did, what it cost, and what it absorbed."""
 
     pipeline_name: str
     outputs: dict[str, Any] = field(default_factory=dict)
     module_stats: dict[str, str] = field(default_factory=dict)
     cost: CostSnapshot | None = None
+    partial: bool = False
+    quarantine: list[QuarantinedRecord] = field(default_factory=list)
+    resilience: dict[str, OperatorResilience] = field(default_factory=dict)
 
     def to_text(self) -> str:
         """Readable execution summary."""
         lines = [f"run of {self.pipeline_name!r}:"]
+        if self.partial:
+            lines[0] += f"  [PARTIAL: {len(self.quarantine)} record(s) quarantined]"
         for name, stats in self.module_stats.items():
             lines.append(f"  {name}: {stats}")
+        for name, counters in self.resilience.items():
+            if counters.any:
+                lines.append(f"  {name} resilience: {counters.to_text()}")
         if self.cost is not None:
             lines.append(f"  llm: {self.cost.to_text()}")
         return "\n".join(lines)
@@ -70,11 +116,18 @@ class PhysicalPlan:
         return self._by_name[operator_name].module
 
     def execute(self, inputs: dict[str, Any] | None = None) -> RunReport:
-        """Run the plan; returns a :class:`RunReport` with sink outputs."""
+        """Run the plan; returns a :class:`RunReport` with sink outputs.
+
+        Records a module quarantined (under a ``skip_record``/``degrade``
+        error policy) are collected into ``report.quarantine`` and flagged
+        via ``report.partial`` — callers always receive the work that
+        succeeded rather than an exception that discards it.
+        """
         inputs = inputs or {}
         values: dict[str, Any] = {}
         report = RunReport(pipeline_name=self.pipeline.name)
-        with CostTracker(self.context.service) as tracker:
+        service = self.context.service
+        with CostTracker(service) as tracker:
             for binding in self.bound:
                 operator = binding.operator
                 if not operator.inputs:
@@ -83,7 +136,23 @@ class PhysicalPlan:
                     argument = values[operator.inputs[0]]
                 else:
                     argument = tuple(values[name] for name in operator.inputs)
+                ledger_mark = len(service.records)
+                degraded_before = _tree_degraded(binding.module)
                 values[operator.name] = binding.module.run(argument)
+                drained = binding.module.drain_quarantine()
+                report.quarantine.extend(drained)
+                counters = OperatorResilience(
+                    quarantined=len(drained),
+                    degraded=_tree_degraded(binding.module) - degraded_before,
+                )
+                for record in service.records[ledger_mark:]:
+                    counters.llm_retries += record.retries
+                    if record.outcome == OUTCOME_FALLBACK:
+                        counters.llm_fallbacks += 1
+                    if not record.succeeded:
+                        counters.llm_failures += 1
+                report.resilience[operator.name] = counters
+        report.partial = bool(report.quarantine)
         report.cost = tracker.snapshot
         for sink in self.pipeline.sinks():
             report.outputs[sink.name] = values[sink.name]
@@ -97,3 +166,13 @@ class PhysicalPlan:
         for binding in self.bound:
             lines.append(f"  {binding.describe()}")
         return "\n".join(lines)
+
+
+def _tree_degraded(module: Module) -> int:
+    """Sum ``stats.degraded`` over a module and its wrapped children."""
+    total = module.stats.degraded
+    for attribute in ("inner", "stage", "fallback", "teacher"):
+        child = getattr(module, attribute, None)
+        if isinstance(child, Module):
+            total += _tree_degraded(child)
+    return total

@@ -16,7 +16,7 @@ from typing import Any, Callable
 
 from repro.core.compiler.context import CompilerContext
 from repro.core.dsl.operators import LogicalOperator, OperatorKind
-from repro.core.modules.base import Module
+from repro.core.modules.base import ErrorPolicy, Module
 from repro.core.modules.custom import CustomModule
 from repro.core.modules.llm_module import (
     LLMModule,
@@ -171,9 +171,19 @@ def make_name_tagger(
 
 
 def _maybe_map(module: Module, operator: LogicalOperator) -> Module:
-    """Wrap per-item modules in a MapModule unless ``map=False``."""
+    """Wrap per-item modules in a MapModule unless ``map=False``.
+
+    The operator's ``error_policy`` param (``fail`` | ``skip_record`` |
+    ``degrade``) and optional ``degrade_fallback`` module are threaded onto
+    the wrapper, giving every mapped operator record-level isolation.
+    """
     if operator.params.get("map", True):
-        return MapModule(f"{operator.name}", module)
+        return MapModule(
+            f"{operator.name}",
+            module,
+            error_policy=operator.params.get("error_policy", ErrorPolicy.FAIL),
+            fallback=operator.params.get("degrade_fallback"),
+        )
     return module
 
 
@@ -288,6 +298,7 @@ def _match_llm_batch_factory(operator: LogicalOperator, context: CompilerContext
         examples=rendered_examples,
         fallback=single,
         purpose=operator.params.get("purpose", operator.name),
+        error_policy=operator.params.get("error_policy", ErrorPolicy.FAIL),
     )
 
 

@@ -1,6 +1,12 @@
 """Physical modules (paper section 3.1): custom, LLM, LLMGC, decorated."""
 
-from repro.core.modules.base import Module, ModuleExecutionError, ModuleStats
+from repro.core.modules.base import (
+    ErrorPolicy,
+    Module,
+    ModuleExecutionError,
+    ModuleStats,
+    QuarantinedRecord,
+)
 from repro.core.modules.batch_llm import BatchLLMModule
 from repro.core.modules.custom import CustomModule
 from repro.core.modules.decorated import DecoratedModule, RouterModule, SequentialModule
@@ -24,9 +30,11 @@ from repro.core.modules.validation import (
 
 __all__ = [
     "BatchLLMModule",
+    "ErrorPolicy",
     "Module",
     "ModuleExecutionError",
     "ModuleStats",
+    "QuarantinedRecord",
     "CustomModule",
     "DecoratedModule",
     "RouterModule",

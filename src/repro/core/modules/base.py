@@ -11,10 +11,53 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
-__all__ = ["ModuleStats", "Module", "ModuleExecutionError"]
+__all__ = [
+    "ErrorPolicy",
+    "ModuleStats",
+    "Module",
+    "ModuleExecutionError",
+    "QuarantinedRecord",
+]
+
+
+class ErrorPolicy:
+    """Per-operator failure handling for record-level execution.
+
+    - ``fail``: any record failure aborts the whole run (legacy behaviour).
+    - ``skip_record``: a poisoned record is quarantined; the rest proceed.
+    - ``degrade``: route the failed record to the module's degraded fallback
+      (e.g. the optimizer's learned simulator); quarantine only if that
+      also fails.
+    """
+
+    FAIL = "fail"
+    SKIP_RECORD = "skip_record"
+    DEGRADE = "degrade"
+
+    ALL = (FAIL, SKIP_RECORD, DEGRADE)
+
+    @classmethod
+    def validate(cls, policy: str) -> str:
+        """Return ``policy`` or raise on an unknown name."""
+        if policy not in cls.ALL:
+            raise ValueError(f"unknown error policy {policy!r}; known: {cls.ALL}")
+        return policy
+
+
+@dataclass(frozen=True)
+class QuarantinedRecord:
+    """One record a module isolated instead of letting it kill the run."""
+
+    record: Any
+    module_name: str
+    error: str
+
+    def to_text(self) -> str:
+        """One-line rendering for run reports."""
+        return f"{self.module_name}: {self.record!r} ({self.error})"
 
 
 class ModuleExecutionError(RuntimeError):
@@ -34,13 +77,18 @@ class ModuleStats:
     invocations: int = 0
     failures: int = 0
     total_seconds: float = 0.0
+    quarantined: int = 0
+    degraded: int = 0
 
     def to_text(self) -> str:
         """One-line rendering."""
-        return (
+        text = (
             f"invocations={self.invocations} failures={self.failures} "
             f"time={self.total_seconds:.3f}s"
         )
+        if self.quarantined or self.degraded:
+            text += f" quarantined={self.quarantined} degraded={self.degraded}"
+        return text
 
 
 class Module(ABC):
@@ -52,6 +100,7 @@ class Module(ABC):
     def __init__(self, name: str):
         self.name = name
         self.stats = ModuleStats()
+        self.quarantine: list[QuarantinedRecord] = []
 
     @abstractmethod
     def _run(self, value: Any) -> Any:
@@ -74,6 +123,26 @@ class Module(ABC):
     def run_batch(self, values: list[Any]) -> list[Any]:
         """Process a list of inputs (default: item by item)."""
         return [self.run(v) for v in values]
+
+    def quarantine_record(self, record: Any, error: BaseException | str) -> None:
+        """Isolate one failed record instead of propagating its error."""
+        self.stats.quarantined += 1
+        self.quarantine.append(QuarantinedRecord(record, self.name, str(error)))
+
+    def drain_quarantine(self) -> list[QuarantinedRecord]:
+        """Take (and clear) quarantined records from this module and its children.
+
+        Wrapper modules expose their wrapped module under conventional
+        attribute names (``inner``, ``stage``, ``fallback``, ``teacher``);
+        the plan executor drains the whole tree after each operator.
+        """
+        drained = list(self.quarantine)
+        self.quarantine.clear()
+        for attribute in ("inner", "stage", "fallback", "teacher"):
+            child = getattr(self, attribute, None)
+            if isinstance(child, Module):
+                drained.extend(child.drain_quarantine())
+        return drained
 
     def describe(self) -> str:
         """Short description for plans and the UI."""

@@ -13,7 +13,8 @@ from __future__ import annotations
 import re
 from typing import Any, Callable, Sequence
 
-from repro.core.modules.base import Module
+from repro.core.modules.base import ErrorPolicy, Module
+from repro.llm.errors import LLMError
 from repro.llm.service import LLMService
 
 __all__ = ["BatchLLMModule"]
@@ -51,10 +52,12 @@ class BatchLLMModule(Module):
         examples: Sequence[tuple[str, str]] = (),
         fallback: Module | None = None,
         purpose: str | None = None,
+        error_policy: str = ErrorPolicy.FAIL,
     ):
         super().__init__(name)
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
+        self.error_policy = ErrorPolicy.validate(error_policy)
         self.service = service
         self.task_description = task_description
         self.render_item = render_item
@@ -82,17 +85,57 @@ class BatchLLMModule(Module):
             lines.append(self.render_item(value))
         return "\n".join(lines)
 
+    def _item_via_fallback(
+        self, index: int, value: Any, batch_error: Exception | None
+    ) -> tuple[Any, bool]:
+        """Resolve one item whose batched answer is unavailable.
+
+        Returns ``(parsed, ok)``; under a non-``fail`` error policy a double
+        failure quarantines the record instead of raising.
+        """
+        error: Exception
+        if self.fallback is not None:
+            try:
+                return self.fallback.run(value), True
+            except Exception as fallback_error:
+                error = fallback_error
+        else:
+            error = batch_error or ValueError(
+                f"{self.name}: no parseable answer for item {index + 1} "
+                "and no fallback configured"
+            )
+        if self.error_policy == ErrorPolicy.FAIL:
+            raise error
+        self.quarantine_record(value, error)
+        return None, False
+
     def _run(self, values: Any) -> list[Any]:
         if not isinstance(values, list):
             raise TypeError(f"{self.name} expects a list of inputs")
         results: list[Any] = [None] * len(values)
-        pending = list(range(len(values)))
+        quarantined: set[int] = set()
         for start in range(0, len(values), self.batch_size):
-            indices = pending[start : start + self.batch_size]
+            indices = list(range(start, min(start + self.batch_size, len(values))))
             batch = [values[i] for i in indices]
-            response = self.service.complete(
-                self.build_prompt(batch), purpose=self.purpose, max_tokens=1024
-            )
+            try:
+                response = self.service.complete(
+                    self.build_prompt(batch), purpose=self.purpose, max_tokens=1024
+                )
+            except LLMError as batch_error:
+                if self.error_policy == ErrorPolicy.FAIL:
+                    raise
+                # The whole batch prompt failed (outage, breaker open, budget):
+                # resolve each item individually, quarantining double failures.
+                for original_index in indices:
+                    self.fallback_items += 1
+                    parsed, ok = self._item_via_fallback(
+                        original_index, values[original_index], batch_error
+                    )
+                    if ok:
+                        results[original_index] = parsed
+                    else:
+                        quarantined.add(original_index)
+                continue
             answered: dict[int, str] = {}
             for number_text, answer in _ANSWER_RE.findall(response):
                 answered[int(number_text)] = answer
@@ -108,14 +151,15 @@ class BatchLLMModule(Module):
                         ok = False
                 if not ok:
                     self.fallback_items += 1
-                    if self.fallback is not None:
-                        parsed = self.fallback.run(values[original_index])
-                    else:
-                        raise ValueError(
-                            f"{self.name}: no parseable answer for item "
-                            f"{offset} and no fallback configured"
-                        )
+                    parsed, ok = self._item_via_fallback(
+                        original_index, values[original_index], None
+                    )
+                    if not ok:
+                        quarantined.add(original_index)
+                        continue
                 results[original_index] = parsed
+        if quarantined:
+            return [r for i, r in enumerate(results) if i not in quarantined]
         return results
 
     def describe(self) -> str:

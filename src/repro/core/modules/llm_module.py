@@ -16,7 +16,7 @@ from typing import Any, Callable, Sequence
 
 from repro.core.modules.base import Module
 from repro.core.modules.validation import OutputValidator
-from repro.llm.errors import MalformedResponseError
+from repro.llm.errors import MalformedResponseError, ProviderError
 from repro.llm.service import LLMService
 
 __all__ = [
@@ -114,6 +114,7 @@ class LLMModule(Module):
         self.max_attempts = max(1, max_attempts)
         self.purpose = purpose or name
         self.validation_retries = 0
+        self.provider_failures = 0
 
     def build_prompt(self, value: Any, strictness: int = 0) -> str:
         """Render the full prompt for ``value``.
@@ -144,7 +145,15 @@ class LLMModule(Module):
         last_problem = ""
         for attempt in range(self.max_attempts):
             prompt = self.build_prompt(value, strictness=attempt)
-            text = self.service.complete(prompt, purpose=self.purpose)
+            try:
+                text = self.service.complete(prompt, purpose=self.purpose)
+            except ProviderError:
+                # The service already exhausted its resilience policy
+                # (retries, fallback providers, breaker); count it so run
+                # reports can attribute outages per operator, then let the
+                # executor's error policy decide the record's fate.
+                self.provider_failures += 1
+                raise
             try:
                 parsed = self.parser(text)
             except MalformedResponseError as error:

@@ -13,30 +13,69 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.core.modules.base import Module
+from repro.core.modules.base import ErrorPolicy, Module
 
 __all__ = ["MapModule", "EnrichModule"]
 
 
 class MapModule(Module):
-    """Apply ``inner`` to every element of a list input."""
+    """Apply ``inner`` to every element of a list input.
+
+    ``error_policy`` controls record-level isolation (see
+    :class:`~repro.core.modules.base.ErrorPolicy`): under ``skip_record`` a
+    failing element is quarantined and omitted from the output; under
+    ``degrade`` the optional ``fallback`` module answers for it first, and
+    only a double failure quarantines.  ``fail`` keeps the legacy
+    abort-the-run behaviour.
+    """
 
     module_type = "decorated"
 
-    def __init__(self, name: str, inner: Module):
+    def __init__(
+        self,
+        name: str,
+        inner: Module,
+        error_policy: str = ErrorPolicy.FAIL,
+        fallback: Module | None = None,
+    ):
         super().__init__(name)
         self.inner = inner
+        self.error_policy = ErrorPolicy.validate(error_policy)
+        self.fallback = fallback
 
     def _run(self, value: Any) -> Any:
         if not isinstance(value, list):
             raise TypeError(
                 f"{self.name} expects a list, got {type(value).__name__}"
             )
-        return [self.inner.run(item) for item in value]
+        if self.error_policy == ErrorPolicy.FAIL:
+            return [self.inner.run(item) for item in value]
+        out: list[Any] = []
+        for item in value:
+            try:
+                out.append(self.inner.run(item))
+            except Exception as error:
+                degraded = False
+                if (
+                    self.error_policy == ErrorPolicy.DEGRADE
+                    and self.fallback is not None
+                ):
+                    try:
+                        out.append(self.fallback.run(item))
+                        self.stats.degraded += 1
+                        degraded = True
+                    except Exception as fallback_error:
+                        error = fallback_error
+                if not degraded:
+                    self.quarantine_record(item, error)
+        return out
 
     def describe(self) -> str:
         """Rendering that exposes the mapped module."""
-        return f"{self.name} <map over {self.inner.describe()}>"
+        policy = (
+            "" if self.error_policy == ErrorPolicy.FAIL else f", {self.error_policy}"
+        )
+        return f"{self.name} <map over {self.inner.describe()}{policy}>"
 
 
 class EnrichModule(Module):

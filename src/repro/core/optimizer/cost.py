@@ -18,19 +18,33 @@ __all__ = ["CostSnapshot", "CostTracker", "CostComparison"]
 
 @dataclass(frozen=True)
 class CostSnapshot:
-    """Usage delta between two points in time."""
+    """Usage delta between two points in time.
+
+    The resilience counters (retries, fallback calls, failed calls) show
+    what the reliability layer spent to deliver the run — the "extra cost
+    of robustness" number the chaos benchmark reports.
+    """
 
     served_calls: int
     cached_calls: int
     cost: float
     latency_seconds: float
+    retries: int = 0
+    fallback_calls: int = 0
+    failed_calls: int = 0
 
     def to_text(self) -> str:
         """One-line rendering."""
-        return (
+        text = (
             f"llm_calls={self.served_calls} (+{self.cached_calls} cached) "
             f"cost=${self.cost:.4f} latency={self.latency_seconds:.1f}s"
         )
+        if self.retries or self.fallback_calls or self.failed_calls:
+            text += (
+                f" retries={self.retries} fallbacks={self.fallback_calls} "
+                f"failed={self.failed_calls}"
+            )
+        return text
 
 
 class CostTracker:
@@ -60,6 +74,9 @@ class CostTracker:
             cached_calls=after.cached_calls - self._before.cached_calls,
             cost=after.cost - self._before.cost,
             latency_seconds=after.latency_seconds - self._before.latency_seconds,
+            retries=after.retries - self._before.retries,
+            fallback_calls=after.fallback_calls - self._before.fallback_calls,
+            failed_calls=after.failed_calls - self._before.failed_calls,
         )
 
 

@@ -39,6 +39,7 @@ class SimulatorStats:
     student_calls: int = 0
     deferrals: int = 0  # student consulted but not confident enough
     refits: int = 0
+    degraded_answers: int = 0  # teacher unreachable, student answered anyway
 
     @property
     def total(self) -> int:
@@ -53,11 +54,14 @@ class SimulatorStats:
 
     def to_text(self) -> str:
         """One-line rendering."""
-        return (
+        text = (
             f"teacher={self.teacher_calls} student={self.student_calls} "
             f"deferrals={self.deferrals} refits={self.refits} "
             f"savings={self.savings():.0%}"
         )
+        if self.degraded_answers:
+            text += f" degraded={self.degraded_answers}"
+        return text
 
 
 class SimulatedModule(Module):
@@ -163,7 +167,18 @@ class SimulatedModule(Module):
                 self.sim_stats.student_calls += 1
                 return label
             self.sim_stats.deferrals += 1
-        label = self.teacher.run(value)
+        try:
+            label = self.teacher.run(value)
+        except Exception:
+            # The teacher (typically an LLM behind an open breaker or a
+            # hard outage) is unreachable.  A trained student is the
+            # module's learned degraded path: answer with its best guess,
+            # confidence threshold waived.
+            if self._model is None:
+                raise
+            label, _ = self._model.predict_with_confidence(vector.reshape(1, -1))[0]
+            self.sim_stats.degraded_answers += 1
+            return label
         self.sim_stats.teacher_calls += 1
         self._record(vector, label)
         return label

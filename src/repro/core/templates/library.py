@@ -37,12 +37,15 @@ def _entity_resolution_template(
     examples: list[tuple[Any, bool]] | None = None,
     task: str | None = None,
     instructions: str = "",
+    error_policy: str | None = None,
 ) -> Pipeline:
     """Figure 2b: the built-in, well-optimized ER pipeline.
 
     The matcher is an LLM module with a curated task description; few-shot
     ``examples`` (record-pair, label) sharpen it further — the paper's
     "label efficient" story: a handful of examples, not thousands.
+    ``error_policy="skip_record"`` makes the matcher quarantine poisoned
+    pairs instead of aborting the run (chaos/production mode).
     """
     builder = PipelineBuilder(
         "entity_resolution_template",
@@ -55,6 +58,8 @@ def _entity_resolution_template(
         params["task"] = task
     if instructions:
         params["instructions"] = instructions
+    if error_policy:
+        params["error_policy"] = error_policy
     return (
         builder.load(source="pairs")
         .match_entities(**params)

@@ -6,11 +6,13 @@ substitution for the hosted APIs the paper used.
 
 from repro.llm.errors import (
     BudgetExceededError,
+    CircuitOpenError,
     LLMError,
     MalformedResponseError,
     ProviderError,
     RateLimitError,
 )
+from repro.llm.faults import ChaosProvider, FaultKind, FaultSpec
 from repro.llm.knowledge import KnowledgeBase
 from repro.llm.providers import (
     FlakyProvider,
@@ -24,6 +26,10 @@ from repro.llm.tokenizer import count_tokens, estimate_cost
 
 __all__ = [
     "BudgetExceededError",
+    "CircuitOpenError",
+    "ChaosProvider",
+    "FaultKind",
+    "FaultSpec",
     "LLMError",
     "MalformedResponseError",
     "ProviderError",

@@ -1,0 +1,163 @@
+"""Deterministic fault injection: the chaos harness for the LLM substrate.
+
+:class:`ChaosProvider` wraps any :class:`LLMProvider` and injects faults
+according to a declarative list of :class:`FaultSpec` schedules: transient
+``ProviderError`` bursts, ``RateLimitError`` storms, latency spikes,
+truncated/malformed completions, and hard outage windows on the virtual
+clock.  Every decision is a stable hash of ``(seed, call index, spec
+index)``, so a chaos run with a fixed seed replays byte-identically —
+robustness becomes a reproducible, benchmarkable property instead of a
+flaky one.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, replace
+
+from repro._util import stable_unit
+from repro.llm.errors import ProviderError, RateLimitError
+from repro.llm.providers import LLMProvider, LLMRequest, LLMResponse
+from repro.resilience.clock import VirtualClock
+
+__all__ = ["FaultKind", "FaultSpec", "ChaosProvider"]
+
+
+class FaultKind:
+    """The catalogue of injectable fault kinds."""
+
+    TRANSIENT = "transient"  # raise ProviderError
+    RATE_LIMIT = "rate_limit"  # raise RateLimitError(retry_after=...)
+    LATENCY = "latency"  # serve, but add extra_latency seconds
+    MALFORMED = "malformed"  # serve, but truncate the completion text
+    OUTAGE = "outage"  # fail everything inside the [start, end) window
+
+    ALL = (TRANSIENT, RATE_LIMIT, LATENCY, MALFORMED, OUTAGE)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault schedule.
+
+    Parameters
+    ----------
+    kind:
+        One of :class:`FaultKind`.
+    rate:
+        Per-call injection probability (ignored for ``outage``, which always
+        fires inside its window).
+    start / end:
+        Optional virtual-clock window ``[start, end)`` outside which the
+        spec is dormant.  ``None`` means unbounded on that side.
+    retry_after:
+        Cooldown attached to injected :class:`RateLimitError` responses.
+    extra_latency:
+        Seconds added to the response for ``latency`` spikes.
+    truncate_to:
+        Characters kept of the completion for ``malformed`` faults.
+    """
+
+    kind: str
+    rate: float = 1.0
+    start: float | None = None
+    end: float | None = None
+    retry_after: float = 1.0
+    extra_latency: float = 5.0
+    truncate_to: int = 5
+
+    def __post_init__(self) -> None:
+        if self.kind not in FaultKind.ALL:
+            raise ValueError(f"unknown fault kind {self.kind!r}; known: {FaultKind.ALL}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+
+    def active_at(self, now: float) -> bool:
+        """Whether the spec's window covers virtual time ``now``."""
+        if self.start is not None and now < self.start:
+            return False
+        if self.end is not None and now >= self.end:
+            return False
+        return True
+
+
+class ChaosProvider(LLMProvider):
+    """Seeded, schedulable fault injection over any provider.
+
+    Faults are evaluated in declaration order; the first one that fires for
+    an error kind raises, while ``latency``/``malformed`` faults mutate the
+    inner provider's response on the way out (and compose if several fire).
+    ``injected`` counts fired faults by kind for assertions and reports.
+    """
+
+    def __init__(
+        self,
+        inner: LLMProvider,
+        faults: list[FaultSpec],
+        seed: int | str = "chaos",
+        clock: VirtualClock | None = None,
+    ):
+        self.inner = inner
+        self.model_name = inner.model_name
+        self.faults = list(faults)
+        self.seed = seed
+        self.clock = clock or VirtualClock()
+        self.injected: Counter[str] = Counter()
+        self.calls = 0
+
+    def schedule_preview(self, n_calls: int) -> list[list[str]]:
+        """The fault kinds that *would* fire on the next ``n_calls`` calls.
+
+        Window-gated specs are evaluated at the current clock; the preview
+        is what makes chaos schedules assertable before a run.
+        """
+        now = self.clock.now
+        preview: list[list[str]] = []
+        for call in range(self.calls + 1, self.calls + n_calls + 1):
+            fired = [
+                spec.kind
+                for index, spec in enumerate(self.faults)
+                if spec.active_at(now)
+                and (
+                    spec.kind == FaultKind.OUTAGE
+                    or stable_unit(self.seed, call, index) < spec.rate
+                )
+            ]
+            preview.append(fired)
+        return preview
+
+    def complete(self, request: LLMRequest) -> LLMResponse:
+        """Serve the request, injecting any scheduled faults."""
+        self.calls += 1
+        now = self.clock.now
+        mutations: list[FaultSpec] = []
+        for index, spec in enumerate(self.faults):
+            if not spec.active_at(now):
+                continue
+            if spec.kind == FaultKind.OUTAGE:
+                self.injected[spec.kind] += 1
+                raise ProviderError(
+                    f"chaos: hard outage window at t={now:.1f}s (call {self.calls})"
+                )
+            if stable_unit(self.seed, self.calls, index) >= spec.rate:
+                continue
+            self.injected[spec.kind] += 1
+            if spec.kind == FaultKind.TRANSIENT:
+                raise ProviderError(
+                    f"chaos: injected transient failure (call {self.calls})"
+                )
+            if spec.kind == FaultKind.RATE_LIMIT:
+                raise RateLimitError(
+                    f"chaos: injected rate limit (call {self.calls})",
+                    retry_after=spec.retry_after,
+                )
+            mutations.append(spec)  # latency / malformed apply post-response
+        response = self.inner.complete(request)
+        for spec in mutations:
+            if spec.kind == FaultKind.LATENCY:
+                response = replace(
+                    response,
+                    latency_seconds=response.latency_seconds + spec.extra_latency,
+                )
+            elif spec.kind == FaultKind.MALFORMED:
+                response = replace(response, text=response.text[: spec.truncate_to])
+        return response

@@ -1,34 +1,57 @@
-"""The LLM service: caching, budgets, retries and the call ledger.
+"""The LLM service: caching, budgets, resilience and the call ledger.
 
 Lingua Manga's "Highly Performant" property (paper section 1) is about
 *minimising LLM service calls* — every cost and call-count number in the
 evaluation is measured here.  The service wraps a provider with:
 
-- a **response cache** (identical prompts are answered locally for free),
+- a **response cache** (identical prompt+max_tokens pairs are answered
+  locally for free),
 - a **budget** (max calls and/or max dollars; exceeding raises
   :class:`BudgetExceededError`),
-- a **retry policy** for transient provider failures, and
-- a **ledger** recording every call with token counts, cost and purpose.
+- a **resilience policy** (retry backoff, per-call deadline, circuit
+  breaker, fallback provider chain — see :mod:`repro.resilience`), and
+- a **ledger** recording every call with token counts, cost, purpose and
+  its resilience ``outcome`` (served / cached / retried / fallback /
+  circuit_open / gave_up).
 
-Time is virtual: latency is accumulated on a clock attribute rather than
-slept, so experiments report realistic latency totals instantly.
+Time is virtual: latency and every retry/cooldown wait are accumulated on a
+:class:`~repro.resilience.clock.VirtualClock` rather than slept, so
+experiments report realistic latency totals instantly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
-from repro.llm.errors import BudgetExceededError, ProviderError, RateLimitError
+from repro.llm.errors import (
+    BudgetExceededError,
+    CircuitOpenError,
+    ProviderError,
+    RateLimitError,
+)
 from repro.llm.providers import LLMProvider, LLMRequest, LLMResponse, SimulatedProvider
-from repro.llm.tokenizer import estimate_cost
+from repro.llm.tokenizer import count_tokens, estimate_cost
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.clock import VirtualClock
+from repro.resilience.policy import (
+    OUTCOME_CACHED,
+    OUTCOME_CIRCUIT_OPEN,
+    OUTCOME_FALLBACK,
+    OUTCOME_GAVE_UP,
+    OUTCOME_RETRIED,
+    OUTCOME_SERVED,
+    SUCCESS_OUTCOMES,
+    ResiliencePolicy,
+    RetryPolicy,
+)
 
 __all__ = ["CallRecord", "UsageSummary", "LLMService"]
 
 
 @dataclass(frozen=True)
 class CallRecord:
-    """One completed request (cached or served)."""
+    """One ledger entry: a completed *or failed* request."""
 
     prompt: str
     response_text: str
@@ -40,6 +63,12 @@ class CallRecord:
     purpose: str
     latency_seconds: float
     retries: int = 0
+    outcome: str = OUTCOME_SERVED
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether this entry produced a usable answer."""
+        return self.outcome in SUCCESS_OUTCOMES
 
 
 @dataclass(frozen=True)
@@ -53,19 +82,33 @@ class UsageSummary:
     completion_tokens: int
     cost: float
     latency_seconds: float
+    retries: int = 0
+    fallback_calls: int = 0
+    failed_calls: int = 0
 
     def to_text(self) -> str:
         """One-line human-readable rendering."""
-        return (
+        text = (
             f"calls={self.total_calls} (served={self.served_calls}, "
             f"cached={self.cached_calls}) tokens={self.prompt_tokens}+"
             f"{self.completion_tokens} cost=${self.cost:.4f} "
             f"latency={self.latency_seconds:.1f}s"
         )
+        if self.retries or self.fallback_calls or self.failed_calls:
+            text += (
+                f" retries={self.retries} fallbacks={self.fallback_calls} "
+                f"failed={self.failed_calls}"
+            )
+        return text
 
 
 class LLMService:
-    """Cached, budgeted, retrying front end over an :class:`LLMProvider`."""
+    """Cached, budgeted, resilient front end over an :class:`LLMProvider`.
+
+    ``max_retries``/``backoff_seconds`` are legacy shorthands; passing a
+    :class:`ResiliencePolicy` via ``policy=`` supersedes them and unlocks
+    deadlines, circuit breaking and fallback chains.
+    """
 
     def __init__(
         self,
@@ -75,16 +118,48 @@ class LLMService:
         max_cost: float | None = None,
         max_retries: int = 3,
         backoff_seconds: float = 0.5,
+        policy: ResiliencePolicy | None = None,
+        clock: VirtualClock | None = None,
     ):
         self.provider = provider or SimulatedProvider()
         self.cache_enabled = cache_enabled
         self.max_calls = max_calls
         self.max_cost = max_cost
-        self.max_retries = max_retries
-        self.backoff_seconds = backoff_seconds
+        self.policy = policy or ResiliencePolicy(
+            retry=RetryPolicy(max_retries=max_retries, backoff_seconds=backoff_seconds)
+        )
+        self.clock = clock or VirtualClock()
         self.records: list[CallRecord] = []
-        self.clock_seconds = 0.0
-        self._cache: dict[str, LLMResponse] = {}
+        self._cache: dict[tuple[str, int], LLMResponse] = {}
+        self._call_index = 0
+        self.breakers = self._build_breakers()
+
+    def _provider_chain(self) -> list[LLMProvider]:
+        chain = [self.provider]
+        if self.policy.fallback is not None:
+            chain.extend(self.policy.fallback.providers)
+        return chain
+
+    def _build_breakers(self) -> list[CircuitBreaker | None]:
+        """One breaker per provider: the policy's for the primary, clones after."""
+        if self.policy.breaker is None:
+            return [None for _ in self._provider_chain()]
+        breakers: list[CircuitBreaker | None] = [self.policy.breaker]
+        breakers.extend(
+            self.policy.breaker.clone() for _ in self._provider_chain()[1:]
+        )
+        return breakers
+
+    # -- virtual clock -----------------------------------------------------------
+
+    @property
+    def clock_seconds(self) -> float:
+        """Accumulated virtual time (latency + retry/cooldown waits)."""
+        return self.clock.now
+
+    @clock_seconds.setter
+    def clock_seconds(self, value: float) -> None:
+        self.clock.now = value
 
     # -- core API --------------------------------------------------------------
 
@@ -92,11 +167,14 @@ class LLMService:
         """Answer ``prompt``; returns the response text.
 
         Raises :class:`BudgetExceededError` when the call would exceed the
-        configured budget, and :class:`ProviderError` when the provider keeps
-        failing beyond the retry limit.
+        configured budget, :class:`CircuitOpenError` when the breaker
+        refuses the call, and :class:`ProviderError` when every provider and
+        retry is exhausted.  Failed calls are still recorded in the ledger
+        with their resilience outcome.
         """
-        if self.cache_enabled and prompt in self._cache:
-            response = self._cache[prompt]
+        cache_key = (prompt, max_tokens)
+        if self.cache_enabled and cache_key in self._cache:
+            response = self._cache[cache_key]
             self.records.append(
                 CallRecord(
                     prompt=prompt,
@@ -108,15 +186,16 @@ class LLMService:
                     skill=response.skill,
                     purpose=purpose,
                     latency_seconds=0.0,
+                    outcome=OUTCOME_CACHED,
                 )
             )
             return response.text
 
         self._check_budget()
         request = LLMRequest(prompt=prompt, max_tokens=max_tokens)
-        response, retries = self._complete_with_retries(request)
+        response, outcome, retries = self._complete_resilient(request, purpose)
         cost = estimate_cost(response.prompt_tokens, response.completion_tokens)
-        self.clock_seconds += response.latency_seconds
+        self.clock.advance(response.latency_seconds)
         self.records.append(
             CallRecord(
                 prompt=prompt,
@@ -129,25 +208,113 @@ class LLMService:
                 purpose=purpose,
                 latency_seconds=response.latency_seconds,
                 retries=retries,
+                outcome=outcome,
             )
         )
         if self.cache_enabled:
-            self._cache[prompt] = response
+            self._cache[cache_key] = response
         return response.text
 
-    def _complete_with_retries(self, request: LLMRequest) -> tuple[LLMResponse, int]:
+    def _complete_resilient(
+        self, request: LLMRequest, purpose: str
+    ) -> tuple[LLMResponse, str, int]:
+        """Walk the provider chain under the resilience policy.
+
+        Returns ``(response, outcome, retries)`` on success; on exhaustion
+        records a failure ledger entry and raises.
+        """
+        policy = self.policy
+        call_key = self._call_index
+        self._call_index += 1
+        started = self.clock.now
         last_error: ProviderError | None = None
-        for attempt in range(self.max_retries + 1):
-            try:
-                return self.provider.complete(request), attempt
-            except RateLimitError as error:
-                last_error = error
-                self.clock_seconds += error.retry_after
-            except ProviderError as error:
-                last_error = error
-                self.clock_seconds += self.backoff_seconds * (2**attempt)
+        saw_open = False
+        chain = self._provider_chain()
+
+        for p_index, provider in enumerate(chain):
+            breaker = self.breakers[p_index] if p_index < len(self.breakers) else None
+            if breaker is not None and not breaker.allow(self.clock.now):
+                if p_index < len(chain) - 1:
+                    saw_open = True  # divert to the next provider immediately
+                    continue
+                # Last provider: block (in virtual time) until the breaker
+                # would allow a half-open probe, bounded by the deadline.
+                wait = breaker.remaining(self.clock.now)
+                if policy.deadline is not None:
+                    wait = policy.deadline.clamp(wait, self.clock.now - started)
+                self.clock.advance(wait)
+                if not breaker.allow(self.clock.now):
+                    saw_open = True
+                    continue
+            for attempt in range(policy.retry.max_retries + 1):
+                try:
+                    response = provider.complete(request)
+                except RateLimitError as error:
+                    last_error = error
+                    wait = error.retry_after
+                except ProviderError as error:
+                    last_error = error
+                    wait = policy.retry.delay(attempt, key=call_key)
+                else:
+                    if breaker is not None:
+                        breaker.record_success(self.clock.now)
+                    if p_index == 0:
+                        outcome = OUTCOME_SERVED if attempt == 0 else OUTCOME_RETRIED
+                    else:
+                        outcome = OUTCOME_FALLBACK
+                    return response, outcome, attempt
+                if breaker is not None:
+                    breaker.record_failure(self.clock.now)
+                if attempt >= policy.retry.max_retries:
+                    break
+                elapsed = self.clock.now - started
+                if policy.deadline is not None:
+                    if policy.deadline.exhausted(elapsed):
+                        break
+                    wait = policy.deadline.clamp(wait, elapsed)
+                self.clock.advance(wait)
+                if breaker is not None and not breaker.allow(self.clock.now):
+                    break  # opened mid-storm: stop hammering this provider
+
+        if policy.fallback is not None and policy.fallback.degraded is not None:
+            text = policy.fallback.degraded(request)
+            response = LLMResponse(
+                text=text,
+                prompt_tokens=count_tokens(request.prompt),
+                completion_tokens=count_tokens(text),
+                model="degraded",
+                skill="degraded",
+                latency_seconds=0.0,
+            )
+            return response, OUTCOME_FALLBACK, 0
+
+        outcome = (
+            OUTCOME_CIRCUIT_OPEN
+            if saw_open and last_error is None
+            else OUTCOME_GAVE_UP
+        )
+        self.records.append(
+            CallRecord(
+                prompt=request.prompt,
+                response_text="",
+                prompt_tokens=0,
+                completion_tokens=0,
+                cost=0.0,
+                cached=False,
+                skill="",
+                purpose=purpose,
+                latency_seconds=0.0,
+                retries=policy.retry.max_retries if last_error is not None else 0,
+                outcome=outcome,
+            )
+        )
+        if outcome == OUTCOME_CIRCUIT_OPEN:
+            raise CircuitOpenError(
+                "circuit breaker open: call refused without reaching a provider"
+            )
         raise ProviderError(
-            f"provider failed after {self.max_retries + 1} attempts: {last_error}"
+            f"provider failed after {policy.retry.max_retries + 1} attempts "
+            f"across {len(chain)} provider(s): {last_error}"
         )
 
     def _check_budget(self) -> None:
@@ -164,13 +331,18 @@ class LLMService:
 
     @property
     def served_calls(self) -> int:
-        """Calls that actually hit the provider (excludes cache hits)."""
-        return sum(1 for r in self.records if not r.cached)
+        """Successful calls that hit a provider (excludes cache hits/failures)."""
+        return sum(1 for r in self.records if not r.cached and r.succeeded)
 
     @property
     def cached_calls(self) -> int:
         """Calls answered from the local cache."""
         return sum(1 for r in self.records if r.cached)
+
+    @property
+    def failed_calls(self) -> int:
+        """Calls that exhausted the resilience policy (gave_up/circuit_open)."""
+        return sum(1 for r in self.records if not r.succeeded)
 
     @property
     def total_cost(self) -> float:
@@ -185,12 +357,15 @@ class LLMService:
         records = list(records)
         return UsageSummary(
             total_calls=len(records),
-            served_calls=sum(1 for r in records if not r.cached),
+            served_calls=sum(1 for r in records if not r.cached and r.succeeded),
             cached_calls=sum(1 for r in records if r.cached),
             prompt_tokens=sum(r.prompt_tokens for r in records),
             completion_tokens=sum(r.completion_tokens for r in records),
             cost=sum(r.cost for r in records),
             latency_seconds=sum(r.latency_seconds for r in records),
+            retries=sum(r.retries for r in records),
+            fallback_calls=sum(1 for r in records if r.outcome == OUTCOME_FALLBACK),
+            failed_calls=sum(1 for r in records if not r.succeeded),
         )
 
     def ledger_table(self):
@@ -208,6 +383,7 @@ class LLMService:
                     "purpose": r.purpose,
                     "skill": r.skill,
                     "cached": r.cached,
+                    "outcome": r.outcome,
                     "prompt_tokens": r.prompt_tokens,
                     "completion_tokens": r.completion_tokens,
                     "cost": r.cost,
@@ -221,7 +397,7 @@ class LLMService:
     def reset_usage(self) -> None:
         """Clear the ledger and virtual clock (cache is kept)."""
         self.records.clear()
-        self.clock_seconds = 0.0
+        self.clock.reset()
 
     def clear_cache(self) -> None:
         """Drop all cached responses."""

@@ -1,0 +1,138 @@
+"""Circuit breaker over the virtual clock.
+
+Retrying a provider that is hard-down wastes budget and inflates latency.
+The breaker watches a sliding window of attempt outcomes and, once the
+failure rate clears a threshold, *opens*: calls fail fast (or divert to a
+fallback provider) until a cooldown has elapsed on the virtual clock.  The
+first call after the cooldown runs as a *half-open* probe — success closes
+the breaker, failure re-opens it for another cooldown.
+
+The breaker never reads wall time; callers pass ``now`` explicitly, which
+keeps every transition deterministic and unit-testable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState:
+    """The three classic breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Failure-rate breaker with cooldown and half-open probing.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Open when the failure rate over the window reaches this fraction.
+    window:
+        Number of most recent attempt outcomes considered.
+    min_calls:
+        Never open before this many outcomes are in the window (avoids
+        tripping on the first unlucky call).
+    cooldown_seconds:
+        Virtual-clock time the breaker stays open before allowing a probe.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: float = 0.5,
+        window: int = 20,
+        min_calls: int = 5,
+        cooldown_seconds: float = 30.0,
+    ):
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        self.failure_threshold = failure_threshold
+        self.window = window
+        self.min_calls = min_calls
+        self.cooldown_seconds = cooldown_seconds
+        self.state = BreakerState.CLOSED
+        self.opened_at = 0.0
+        self.opens = 0  # lifetime count of closed/half-open -> open transitions
+        self._outcomes: deque[bool] = deque(maxlen=window)
+
+    def clone(self) -> "CircuitBreaker":
+        """A fresh breaker with the same configuration (per-provider copies)."""
+        return CircuitBreaker(
+            failure_threshold=self.failure_threshold,
+            window=self.window,
+            min_calls=self.min_calls,
+            cooldown_seconds=self.cooldown_seconds,
+        )
+
+    # -- queries ----------------------------------------------------------------
+
+    def allow(self, now: float) -> bool:
+        """May a call be attempted at virtual time ``now``?
+
+        An open breaker whose cooldown has elapsed transitions to half-open
+        and allows exactly the probing call through.
+        """
+        if self.state == BreakerState.OPEN:
+            if now >= self.opened_at + self.cooldown_seconds:
+                self.state = BreakerState.HALF_OPEN
+                return True
+            return False
+        return True
+
+    def remaining(self, now: float) -> float:
+        """Virtual seconds until the next probe is allowed (0 when callable)."""
+        if self.state != BreakerState.OPEN:
+            return 0.0
+        return max(0.0, self.opened_at + self.cooldown_seconds - now)
+
+    @property
+    def failure_rate(self) -> float:
+        """Failure fraction over the current window."""
+        if not self._outcomes:
+            return 0.0
+        return sum(1 for ok in self._outcomes if not ok) / len(self._outcomes)
+
+    # -- outcome reporting ----------------------------------------------------------
+
+    def record_success(self, now: float) -> None:
+        """Report a successful attempt."""
+        if self.state == BreakerState.HALF_OPEN:
+            self._close()
+            return
+        self._outcomes.append(True)
+
+    def record_failure(self, now: float) -> None:
+        """Report a failed attempt; may open the breaker."""
+        if self.state == BreakerState.HALF_OPEN:
+            self._open(now)
+            return
+        self._outcomes.append(False)
+        if (
+            self.state == BreakerState.CLOSED
+            and len(self._outcomes) >= self.min_calls
+            and self.failure_rate >= self.failure_threshold
+        ):
+            self._open(now)
+
+    # -- transitions ----------------------------------------------------------------
+
+    def _open(self, now: float) -> None:
+        self.state = BreakerState.OPEN
+        self.opened_at = now
+        self.opens += 1
+        self._outcomes.clear()
+
+    def _close(self) -> None:
+        self.state = BreakerState.CLOSED
+        self._outcomes.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"CircuitBreaker(state={self.state}, rate={self.failure_rate:.2f}, "
+            f"opens={self.opens})"
+        )

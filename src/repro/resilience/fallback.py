@@ -1,0 +1,42 @@
+"""Fallback chains: where a call goes when the primary provider is down.
+
+The chain is ordered: primary provider (owned by the service) -> each
+secondary provider in ``providers`` -> the ``degraded`` answer function as a
+last resort.  A degraded answer is the service-level analogue of the
+optimizer's simulator takeover — a cheap local approximation that keeps the
+pipeline producing output while the real model is unreachable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.llm.providers import LLMProvider, LLMRequest
+
+__all__ = ["FallbackChain"]
+
+
+@dataclass
+class FallbackChain:
+    """Secondary providers plus an optional degraded last-resort answer.
+
+    Parameters
+    ----------
+    providers:
+        Secondary :class:`LLMProvider` instances, tried in order after the
+        primary fails or its breaker is open.
+    degraded:
+        ``request -> text`` callable used when every provider is exhausted;
+        ``None`` means exhaustion raises instead.
+    """
+
+    providers: list["LLMProvider"] = field(default_factory=list)
+    degraded: Callable[["LLMRequest"], str] | None = None
+
+    def describe(self) -> str:
+        """One-line rendering for reports."""
+        names = [getattr(p, "model_name", type(p).__name__) for p in self.providers]
+        tail = " -> degraded" if self.degraded is not None else ""
+        return " -> ".join(names) + tail if (names or tail) else "(empty)"

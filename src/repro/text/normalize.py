@@ -96,17 +96,37 @@ def normalize_units(text: str) -> str:
     return text
 
 
+def _normalize_pass(text: str) -> str:
+    """One sweep of the full normalisation pipeline.
+
+    Punctuation is dropped *before* abbreviation expansion — stripping
+    ``':co'`` down to ``'co'`` must not expose an abbreviation a later
+    normalisation round would then expand differently.  ``&`` is rewritten
+    explicitly because the punctuation pattern would otherwise delete it.
+    """
+    text = strip_accents(text).lower()
+    text = normalize_units(text)
+    text = text.replace("&", " and ")
+    text = _PUNCT_RE.sub(" ", text)
+    text = expand_abbreviations(text)
+    return normalize_whitespace(text)
+
+
 def normalize_text(text: str) -> str:
     """Full normalisation pipeline used by matchers before comparison.
 
     Lowercases, strips accents, canonicalises units, expands abbreviations,
-    drops stray punctuation and collapses whitespace.
+    drops stray punctuation and collapses whitespace.  The pipeline is
+    applied until a fixpoint, which makes it idempotent: stripping
+    punctuation can expose tokens (abbreviations, unit expressions) that an
+    earlier step already passed over, so a single sweep is not stable.
     """
-    text = strip_accents(text).lower()
-    text = normalize_units(text)
-    text = expand_abbreviations(text)
-    text = _PUNCT_RE.sub(" ", text)
-    return normalize_whitespace(text)
+    for _ in range(10):
+        normalized = _normalize_pass(text)
+        if normalized == text:
+            return normalized
+        text = normalized
+    return text
 
 
 def extract_numbers(text: str) -> list[float]:

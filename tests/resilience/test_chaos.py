@@ -1,0 +1,132 @@
+"""Tests for the chaos harness: seeded, schedulable fault injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm.errors import ProviderError, RateLimitError
+from repro.llm.faults import ChaosProvider, FaultKind, FaultSpec
+from repro.llm.providers import LLMRequest, SimulatedProvider
+from repro.resilience import VirtualClock
+
+PROMPT = "Which language is this? Text: El informe fue presentado ayer."
+
+
+def make_chaos(faults, seed="chaos", clock=None):
+    return ChaosProvider(SimulatedProvider(), faults, seed=seed, clock=clock)
+
+
+def drive(provider, n_calls):
+    """Call the provider n times; returns the per-call outcome labels."""
+    outcomes = []
+    for index in range(n_calls):
+        request = LLMRequest(prompt=f"summarize item number {index}")
+        try:
+            provider.complete(request)
+            outcomes.append("ok")
+        except RateLimitError:
+            outcomes.append("rate_limit")
+        except ProviderError:
+            outcomes.append("error")
+    return outcomes
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="meteor_strike")
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FaultKind.TRANSIENT, rate=1.5)
+
+    def test_window_activation(self):
+        spec = FaultSpec(kind=FaultKind.OUTAGE, start=10.0, end=20.0)
+        assert not spec.active_at(9.9)
+        assert spec.active_at(10.0)
+        assert spec.active_at(19.9)
+        assert not spec.active_at(20.0)
+
+
+class TestChaosDeterminism:
+    def test_same_seed_replays_identically(self):
+        faults = [
+            FaultSpec(kind=FaultKind.TRANSIENT, rate=0.3),
+            FaultSpec(kind=FaultKind.RATE_LIMIT, rate=0.2, retry_after=2.0),
+        ]
+        first = drive(make_chaos(faults, seed=11), 60)
+        second = drive(make_chaos(faults, seed=11), 60)
+        assert first == second
+        assert "error" in first and "rate_limit" in first and "ok" in first
+
+    def test_different_seed_differs(self):
+        faults = [FaultSpec(kind=FaultKind.TRANSIENT, rate=0.5)]
+        assert drive(make_chaos(faults, seed=1), 60) != drive(
+            make_chaos(faults, seed=2), 60
+        )
+
+    def test_schedule_preview_matches_execution(self):
+        faults = [FaultSpec(kind=FaultKind.TRANSIENT, rate=0.4)]
+        chaos = make_chaos(faults, seed=5)
+        preview = chaos.schedule_preview(40)
+        outcomes = drive(chaos, 40)
+        expected = ["error" if fired else "ok" for fired in preview]
+        assert outcomes == expected
+
+    def test_injected_counter_counts_by_kind(self):
+        faults = [FaultSpec(kind=FaultKind.TRANSIENT, rate=0.5)]
+        chaos = make_chaos(faults, seed=3)
+        outcomes = drive(chaos, 50)
+        assert chaos.injected[FaultKind.TRANSIENT] == outcomes.count("error")
+
+
+class TestFaultKinds:
+    def test_transient_rate_one_always_fails(self):
+        chaos = make_chaos([FaultSpec(kind=FaultKind.TRANSIENT, rate=1.0)])
+        assert drive(chaos, 5) == ["error"] * 5
+
+    def test_rate_zero_never_fails(self):
+        chaos = make_chaos([FaultSpec(kind=FaultKind.TRANSIENT, rate=0.0)])
+        assert drive(chaos, 5) == ["ok"] * 5
+
+    def test_rate_limit_carries_retry_after(self):
+        chaos = make_chaos(
+            [FaultSpec(kind=FaultKind.RATE_LIMIT, rate=1.0, retry_after=7.5)]
+        )
+        with pytest.raises(RateLimitError) as excinfo:
+            chaos.complete(LLMRequest(prompt=PROMPT))
+        assert excinfo.value.retry_after == 7.5
+
+    def test_outage_window_on_virtual_clock(self):
+        clock = VirtualClock()
+        chaos = make_chaos(
+            [FaultSpec(kind=FaultKind.OUTAGE, start=10.0, end=20.0)], clock=clock
+        )
+        request = LLMRequest(prompt=PROMPT)
+        assert chaos.complete(request).text  # before the window: healthy
+        clock.advance(15.0)
+        with pytest.raises(ProviderError):
+            chaos.complete(request)
+        clock.advance(10.0)  # past the window: healthy again
+        assert chaos.complete(request).text
+
+    def test_latency_spike_adds_seconds(self):
+        request = LLMRequest(prompt=PROMPT)
+        baseline = SimulatedProvider().complete(request).latency_seconds
+        chaos = make_chaos(
+            [FaultSpec(kind=FaultKind.LATENCY, rate=1.0, extra_latency=9.0)]
+        )
+        spiked = chaos.complete(request).latency_seconds
+        assert spiked == pytest.approx(baseline + 9.0)
+
+    def test_malformed_truncates_completion(self):
+        request = LLMRequest(prompt=PROMPT)
+        full = SimulatedProvider().complete(request).text
+        chaos = make_chaos(
+            [FaultSpec(kind=FaultKind.MALFORMED, rate=1.0, truncate_to=3)]
+        )
+        assert chaos.complete(request).text == full[:3]
+
+    def test_model_name_passthrough(self):
+        chaos = make_chaos([])
+        assert chaos.model_name == "sim-gpt-2023"

@@ -1,0 +1,178 @@
+"""Tests for repro.resilience: retry policy, deadline, breaker, fallbacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm.providers import SimulatedProvider
+from repro.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    Deadline,
+    FallbackChain,
+    ResiliencePolicy,
+    RetryPolicy,
+    VirtualClock,
+)
+
+
+class TestVirtualClock:
+    def test_advances(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(2.5)
+        assert clock.now == pytest.approx(4.0)
+
+    def test_negative_advance_clamped(self):
+        clock = VirtualClock(now=3.0)
+        clock.advance(-10.0)
+        assert clock.now == pytest.approx(3.0)
+
+    def test_reset(self):
+        clock = VirtualClock(now=9.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestRetryPolicy:
+    @pytest.mark.parametrize(
+        ("base", "multiplier", "expected"),
+        [
+            (0.5, 2.0, [0.5, 1.0, 2.0]),
+            (1.0, 3.0, [1.0, 3.0, 9.0]),
+            (0.25, 1.0, [0.25, 0.25, 0.25]),
+        ],
+    )
+    def test_backoff_sequence_without_jitter(self, base, multiplier, expected):
+        policy = RetryPolicy(max_retries=3, backoff_seconds=base, multiplier=multiplier)
+        assert policy.schedule() == pytest.approx(expected)
+
+    def test_backoff_capped(self):
+        policy = RetryPolicy(
+            max_retries=6, backoff_seconds=1.0, multiplier=10.0, max_backoff_seconds=50.0
+        )
+        assert max(policy.schedule()) == pytest.approx(50.0)
+
+    def test_jitter_is_deterministic(self):
+        a = RetryPolicy(max_retries=4, jitter=0.5, seed="s")
+        b = RetryPolicy(max_retries=4, jitter=0.5, seed="s")
+        assert a.schedule(key=7) == b.schedule(key=7)
+
+    def test_jitter_varies_with_key(self):
+        policy = RetryPolicy(max_retries=4, jitter=0.5)
+        assert policy.schedule(key=1) != policy.schedule(key=2)
+
+    def test_jitter_bounded_by_fraction(self):
+        policy = RetryPolicy(max_retries=1, backoff_seconds=1.0, jitter=0.25)
+        delay = policy.delay(0, key=3)
+        assert 1.0 <= delay <= 1.25
+
+
+class TestDeadline:
+    def test_remaining_and_exhausted(self):
+        deadline = Deadline(10.0)
+        assert deadline.remaining(4.0) == pytest.approx(6.0)
+        assert not deadline.exhausted(9.99)
+        assert deadline.exhausted(10.0)
+        assert deadline.remaining(15.0) == 0.0
+
+    def test_clamp_caps_waits(self):
+        deadline = Deadline(10.0)
+        assert deadline.clamp(60.0, elapsed=7.0) == pytest.approx(3.0)
+        assert deadline.clamp(1.0, elapsed=7.0) == pytest.approx(1.0)
+
+
+class TestCircuitBreaker:
+    def make(self, **overrides):
+        config = dict(
+            failure_threshold=0.5, window=10, min_calls=4, cooldown_seconds=30.0
+        )
+        config.update(overrides)
+        return CircuitBreaker(**config)
+
+    def test_starts_closed(self):
+        breaker = self.make()
+        assert breaker.state == BreakerState.CLOSED
+        assert breaker.allow(0.0)
+
+    def test_does_not_open_before_min_calls(self):
+        breaker = self.make(min_calls=5)
+        for _ in range(4):
+            breaker.record_failure(0.0)
+        assert breaker.state == BreakerState.CLOSED
+
+    def test_opens_on_failure_rate(self):
+        breaker = self.make()
+        for _ in range(4):
+            breaker.record_failure(1.0)
+        assert breaker.state == BreakerState.OPEN
+        assert breaker.opens == 1
+        assert not breaker.allow(2.0)
+
+    def test_open_to_half_open_after_cooldown(self):
+        breaker = self.make(cooldown_seconds=30.0)
+        for _ in range(4):
+            breaker.record_failure(10.0)
+        assert not breaker.allow(39.9)
+        assert breaker.remaining(20.0) == pytest.approx(20.0)
+        assert breaker.allow(40.0)  # cooldown elapsed: half-open probe
+        assert breaker.state == BreakerState.HALF_OPEN
+
+    def test_half_open_success_closes(self):
+        breaker = self.make()
+        for _ in range(4):
+            breaker.record_failure(0.0)
+        assert breaker.allow(30.0)
+        breaker.record_success(30.0)
+        assert breaker.state == BreakerState.CLOSED
+        assert breaker.failure_rate == 0.0  # window cleared
+
+    def test_half_open_failure_reopens(self):
+        breaker = self.make()
+        for _ in range(4):
+            breaker.record_failure(0.0)
+        assert breaker.allow(30.0)
+        breaker.record_failure(30.0)
+        assert breaker.state == BreakerState.OPEN
+        assert breaker.opened_at == pytest.approx(30.0)
+        assert breaker.opens == 2
+
+    def test_mixed_outcomes_below_threshold_stay_closed(self):
+        breaker = self.make(failure_threshold=0.7)
+        for index in range(20):
+            if index % 2 == 0:
+                breaker.record_failure(0.0)
+            else:
+                breaker.record_success(0.0)
+        assert breaker.state == BreakerState.CLOSED
+
+    def test_clone_copies_config_not_state(self):
+        breaker = self.make(cooldown_seconds=12.0)
+        for _ in range(4):
+            breaker.record_failure(0.0)
+        clone = breaker.clone()
+        assert clone.cooldown_seconds == 12.0
+        assert clone.state == BreakerState.CLOSED
+        assert clone.opens == 0
+
+
+class TestFallbackChain:
+    def test_describe_orders_providers(self):
+        chain = FallbackChain(
+            providers=[SimulatedProvider(), SimulatedProvider()],
+            degraded=lambda request: "n/a",
+        )
+        text = chain.describe()
+        assert text.count("sim-gpt-2023") == 2
+        assert text.endswith("degraded")
+
+    def test_policy_describe_mentions_components(self):
+        policy = ResiliencePolicy(
+            retry=RetryPolicy(max_retries=2),
+            deadline=Deadline(20.0),
+            breaker=CircuitBreaker(),
+            fallback=FallbackChain(degraded=lambda request: ""),
+        )
+        text = policy.describe()
+        assert "retry" in text and "deadline" in text
+        assert "breaker" in text and "fallback" in text
