@@ -25,6 +25,16 @@ from repro.ml.metrics import accuracy
 __all__ = ["HoloCleanImputer", "evaluate_holoclean"]
 
 
+def _top_vote(votes: Counter) -> str:
+    """Highest-count value, ties broken alphabetically.
+
+    ``Counter.most_common`` breaks ties by insertion order, which here
+    flows from ``set`` iteration — randomised per process by string
+    hashing.  An explicit tie-break keeps the baseline reproducible.
+    """
+    return min(votes, key=lambda value: (-votes[value], value))
+
+
 @dataclass
 class HoloCleanImputer:
     """Co-occurrence voting over frequent categorical tokens."""
@@ -62,14 +72,14 @@ class HoloCleanImputer:
             raise RuntimeError("imputer is not fitted; call fit() first")
         name = str(record.get("name", "")).lower()
         if name in self._exact:
-            return self._exact[name].most_common(1)[0][0]
+            return _top_vote(self._exact[name])
         votes: Counter = Counter()
         for token in set(name.split()):
             if token in self._token_votes:
                 votes.update(self._token_votes[token])
         if votes:
-            return votes.most_common(1)[0][0]
-        return self._prior.most_common(1)[0][0]
+            return _top_vote(votes)
+        return _top_vote(self._prior)
 
     def predict(self, records: list[dict]) -> list[str]:
         """Repair a batch of records."""

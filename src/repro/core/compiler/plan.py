@@ -5,10 +5,22 @@ non-``fail`` :class:`~repro.core.modules.base.ErrorPolicy` quarantine
 poisoned records instead of aborting the DAG, and the run report always
 carries the work that succeeded (``partial`` flags whether anything was
 lost, ``quarantine`` says exactly what and why).
+
+Execution is also **concurrent on demand**: ``execute(workers=N)`` routes
+each operator through the :class:`~repro.core.runtime.scheduler.Scheduler`,
+which splits list inputs into record chunks, runs them on a bounded worker
+pool and merges results in deterministic chunk order.  ``workers=None``
+(the default) keeps the legacy strictly sequential path.  The determinism
+contract — same seed, same fault spec, byte-identical results at any worker
+count — is expressed through :meth:`RunReport.canonical_json`, which
+excludes wall-clock measurements (they are observations about the run, not
+results of it).
 """
 
 from __future__ import annotations
 
+import json
+import re
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -20,6 +32,10 @@ from repro.core.optimizer.cost import CostSnapshot, CostTracker
 from repro.resilience.policy import OUTCOME_FALLBACK
 
 __all__ = ["BoundOperator", "OperatorResilience", "RunReport", "PhysicalPlan"]
+
+# Wall-clock fragment of ModuleStats.to_text(); stripped from canonical
+# reports because host timing is nondeterministic by nature.
+_WALL_TIME_RE = re.compile(r" time=\d+(?:\.\d+)?s")
 
 
 @dataclass
@@ -90,6 +106,61 @@ class RunReport:
             lines.append(f"  llm: {self.cost.to_text()}")
         return "\n".join(lines)
 
+    def canonical_dict(self) -> dict[str, Any]:
+        """The run's *results*, with wall-clock measurements stripped.
+
+        This is the determinism contract of the parallel scheduler: two
+        runs of the same plan on the same inputs (same seed, same fault
+        spec) must produce equal canonical dicts at any worker count.
+        Wall-clock module timings are excluded because they measure the
+        host machine, not the computation; virtual-clock latency totals
+        *are* included (they are part of the simulated semantics).
+        """
+        return {
+            "pipeline": self.pipeline_name,
+            "outputs": self.outputs,
+            "partial": self.partial,
+            "quarantine": [
+                {
+                    "module": q.module_name,
+                    "record": repr(q.record),
+                    "error": q.error,
+                }
+                for q in self.quarantine
+            ],
+            "resilience": {
+                name: {
+                    "quarantined": c.quarantined,
+                    "degraded": c.degraded,
+                    "llm_retries": c.llm_retries,
+                    "llm_fallbacks": c.llm_fallbacks,
+                    "llm_failures": c.llm_failures,
+                }
+                for name, c in self.resilience.items()
+            },
+            "module_stats": {
+                name: _WALL_TIME_RE.sub("", stats)
+                for name, stats in self.module_stats.items()
+            },
+            "cost": None
+            if self.cost is None
+            else {
+                "served_calls": self.cost.served_calls,
+                "cached_calls": self.cost.cached_calls,
+                "cost": round(self.cost.cost, 10),
+                "latency_seconds": round(self.cost.latency_seconds, 9),
+                "retries": self.cost.retries,
+                "fallback_calls": self.cost.fallback_calls,
+                "failed_calls": self.cost.failed_calls,
+            },
+        }
+
+    def canonical_json(self) -> str:
+        """Byte-comparable JSON rendering of :meth:`canonical_dict`."""
+        return json.dumps(
+            self.canonical_dict(), sort_keys=True, ensure_ascii=False, default=repr
+        )
+
 
 class PhysicalPlan:
     """An executable plan produced by the compiler.
@@ -115,14 +186,33 @@ class PhysicalPlan:
         """The physical module bound to ``operator_name``."""
         return self._by_name[operator_name].module
 
-    def execute(self, inputs: dict[str, Any] | None = None) -> RunReport:
+    def execute(
+        self,
+        inputs: dict[str, Any] | None = None,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+    ) -> RunReport:
         """Run the plan; returns a :class:`RunReport` with sink outputs.
 
         Records a module quarantined (under a ``skip_record``/``degrade``
         error policy) are collected into ``report.quarantine`` and flagged
         via ``report.partial`` — callers always receive the work that
         succeeded rather than an exception that discards it.
+
+        ``workers`` selects the execution engine: ``None`` (default) is
+        the legacy strictly sequential path; any integer >= 1 routes
+        operators through the concurrent scheduler, which chunks list
+        inputs (``chunk_size`` records per chunk) and merges results in
+        deterministic chunk order — ``workers=1`` and ``workers=8``
+        produce identical :meth:`RunReport.canonical_json` output.
         """
+        scheduler = None
+        if workers is not None:
+            # Imported lazily: the runtime package imports the system
+            # facade, which imports this module.
+            from repro.core.runtime.scheduler import Scheduler
+
+            scheduler = Scheduler(workers=workers, chunk_size=chunk_size)
         inputs = inputs or {}
         values: dict[str, Any] = {}
         report = RunReport(pipeline_name=self.pipeline.name)
@@ -138,7 +228,12 @@ class PhysicalPlan:
                     argument = tuple(values[name] for name in operator.inputs)
                 ledger_mark = len(service.records)
                 degraded_before = _tree_degraded(binding.module)
-                values[operator.name] = binding.module.run(argument)
+                if scheduler is not None:
+                    values[operator.name] = scheduler.run_operator(
+                        binding.module, argument, service
+                    )
+                else:
+                    values[operator.name] = binding.module.run(argument)
                 drained = binding.module.drain_quarantine()
                 report.quarantine.extend(drained)
                 counters = OperatorResilience(

@@ -9,10 +9,12 @@ reports.
 
 from __future__ import annotations
 
+import threading
 import time
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import Any
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
 
 __all__ = [
     "ErrorPolicy",
@@ -20,6 +22,7 @@ __all__ = [
     "Module",
     "ModuleExecutionError",
     "QuarantinedRecord",
+    "ChunkOutcome",
 ]
 
 
@@ -71,6 +74,20 @@ class ModuleExecutionError(RuntimeError):
 
 
 @dataclass
+class ChunkOutcome:
+    """What one record chunk produced under the parallel scheduler.
+
+    Quarantined records and degraded counts are *returned* rather than
+    applied to the module's shared state, so the scheduler can merge them
+    in deterministic chunk order regardless of thread completion order.
+    """
+
+    outputs: list[Any] = field(default_factory=list)
+    quarantine: list[QuarantinedRecord] = field(default_factory=list)
+    degraded: int = 0
+
+
+@dataclass
 class ModuleStats:
     """Lifetime counters for one module instance."""
 
@@ -92,15 +109,32 @@ class ModuleStats:
 
 
 class Module(ABC):
-    """A black-box function ``f: X -> Y`` with stats and a module type tag."""
+    """A black-box function ``f: X -> Y`` with stats and a module type tag.
+
+    Modules may be driven from several worker threads at once by the
+    parallel scheduler (:mod:`repro.core.runtime.scheduler`), so all shared
+    counters are guarded by ``_lock``.  List-processing modules that can be
+    split into independent record chunks advertise ``chunk_capable`` and
+    implement :meth:`apply_chunk`; modules whose behaviour depends on call
+    order (online learners, self-repairing codegen) set ``parallel_safe``
+    to ``False`` to force whole-input sequential execution.
+    """
 
     #: type tag shown in plans/UI: custom | llm | llmgc | decorated
     module_type: str = "custom"
+    #: whether the scheduler may split a list input into record chunks
+    chunk_capable: bool = False
+    #: whether concurrent execution preserves this module's semantics
+    parallel_safe: bool = True
+    #: chunk size the module prefers (``None`` = scheduler default)
+    preferred_chunk_size: int | None = None
 
     def __init__(self, name: str):
         self.name = name
         self.stats = ModuleStats()
         self.quarantine: list[QuarantinedRecord] = []
+        self._lock = threading.RLock()
+        self._tls = threading.local()
 
     @abstractmethod
     def _run(self, value: Any) -> Any:
@@ -109,25 +143,61 @@ class Module(ABC):
     def run(self, value: Any) -> Any:
         """Process one input, updating stats; wraps failures uniformly."""
         started = time.perf_counter()
-        self.stats.invocations += 1
+        with self._lock:
+            self.stats.invocations += 1
         try:
             return self._run(value)
         except Exception as error:
-            self.stats.failures += 1
+            with self._lock:
+                self.stats.failures += 1
             if isinstance(error, ModuleExecutionError):
                 raise
             raise ModuleExecutionError(self.name, value, error) from error
         finally:
-            self.stats.total_seconds += time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            with self._lock:
+                self.stats.total_seconds += elapsed
 
     def run_batch(self, values: list[Any]) -> list[Any]:
         """Process a list of inputs (default: item by item)."""
         return [self.run(v) for v in values]
 
+    def apply_chunk(self, chunk: list[Any]) -> ChunkOutcome:
+        """Process one record chunk for the parallel scheduler.
+
+        Only meaningful when ``chunk_capable`` is true.  Implementations
+        must route failed records through :meth:`quarantine_record` inside
+        :meth:`collecting_quarantine` (so isolation is returned, not applied
+        to shared state) and must not touch ``stats`` directly — the
+        scheduler merges invocations, quarantine and degraded counts in
+        deterministic chunk order.
+        """
+        raise NotImplementedError(f"module {self.name!r} is not chunk-capable")
+
+    @contextmanager
+    def collecting_quarantine(self) -> Iterator[list[QuarantinedRecord]]:
+        """Redirect this thread's quarantined records into a local bucket.
+
+        Used by :meth:`apply_chunk`: each worker thread collects its own
+        chunk's casualties so the scheduler can merge them in chunk order.
+        """
+        bucket: list[QuarantinedRecord] = []
+        self._tls.bucket = bucket
+        try:
+            yield bucket
+        finally:
+            self._tls.bucket = None
+
     def quarantine_record(self, record: Any, error: BaseException | str) -> None:
         """Isolate one failed record instead of propagating its error."""
-        self.stats.quarantined += 1
-        self.quarantine.append(QuarantinedRecord(record, self.name, str(error)))
+        entry = QuarantinedRecord(record, self.name, str(error))
+        bucket = getattr(self._tls, "bucket", None)
+        if bucket is not None:
+            bucket.append(entry)
+            return
+        with self._lock:
+            self.stats.quarantined += 1
+            self.quarantine.append(entry)
 
     def drain_quarantine(self) -> list[QuarantinedRecord]:
         """Take (and clear) quarantined records from this module and its children.
@@ -136,8 +206,9 @@ class Module(ABC):
         attribute names (``inner``, ``stage``, ``fallback``, ``teacher``);
         the plan executor drains the whole tree after each operator.
         """
-        drained = list(self.quarantine)
-        self.quarantine.clear()
+        with self._lock:
+            drained = list(self.quarantine)
+            self.quarantine.clear()
         for attribute in ("inner", "stage", "fallback", "teacher"):
             child = getattr(self, attribute, None)
             if isinstance(child, Module):

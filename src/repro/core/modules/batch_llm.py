@@ -13,7 +13,7 @@ from __future__ import annotations
 import re
 from typing import Any, Callable, Sequence
 
-from repro.core.modules.base import ErrorPolicy, Module
+from repro.core.modules.base import ChunkOutcome, ErrorPolicy, Module
 from repro.llm.errors import LLMError
 from repro.llm.service import LLMService
 
@@ -39,6 +39,7 @@ class BatchLLMModule(Module):
     """
 
     module_type = "llm"
+    chunk_capable = True
 
     def __init__(
         self,
@@ -68,6 +69,9 @@ class BatchLLMModule(Module):
         self.fallback = fallback
         self.purpose = purpose or name
         self.fallback_items = 0
+        # Align scheduler chunks to whole batches: each chunk is exactly
+        # one batch prompt, so chunking never changes prompt contents.
+        self.preferred_chunk_size = batch_size
 
     def build_prompt(self, batch: Sequence[Any]) -> str:
         """Render the numbered batch prompt."""
@@ -127,7 +131,8 @@ class BatchLLMModule(Module):
                 # The whole batch prompt failed (outage, breaker open, budget):
                 # resolve each item individually, quarantining double failures.
                 for original_index in indices:
-                    self.fallback_items += 1
+                    with self._lock:
+                        self.fallback_items += 1
                     parsed, ok = self._item_via_fallback(
                         original_index, values[original_index], batch_error
                     )
@@ -150,7 +155,8 @@ class BatchLLMModule(Module):
                     except Exception:
                         ok = False
                 if not ok:
-                    self.fallback_items += 1
+                    with self._lock:
+                        self.fallback_items += 1
                     parsed, ok = self._item_via_fallback(
                         original_index, values[original_index], None
                     )
@@ -161,6 +167,12 @@ class BatchLLMModule(Module):
         if quarantined:
             return [r for i, r in enumerate(results) if i not in quarantined]
         return results
+
+    def apply_chunk(self, chunk: list[Any]) -> ChunkOutcome:
+        """Scheduler hook: one chunk is one (or a few) batch prompts."""
+        with self.collecting_quarantine() as bucket:
+            out = self._run(list(chunk))
+        return ChunkOutcome(outputs=out, quarantine=bucket, degraded=0)
 
     def describe(self) -> str:
         """Batch size plus fallback accounting."""

@@ -95,7 +95,8 @@ class RouterModule(Module):
     def _run(self, value: Any) -> Any:
         result = self.primary.run(value)
         if self.escalate(value, result):
-            self.escalations += 1
+            with self._lock:
+                self.escalations += 1
             return self.fallback.run(value)
         return result
 

@@ -141,6 +141,19 @@ class LLMModule(Module):
             )
         return "\n".join(lines)
 
+    def prefetch(self, values: Sequence[Any]) -> int:
+        """Warm the service cache for ``values`` with one batched call.
+
+        Builds the first-attempt prompt for every value and submits the
+        distinct uncached ones through the service's batched provider path
+        (:meth:`LLMService.prime`).  The per-item :meth:`run` calls then
+        hit the cache, so a chunk of N records costs one provider round
+        trip.  Best effort: failures surface on the per-item path, which
+        owns retry/fallback/quarantine semantics.
+        """
+        prompts = [self.build_prompt(value, strictness=0) for value in values]
+        return self.service.prime(prompts, purpose=self.purpose)
+
     def _run(self, value: Any) -> Any:
         last_problem = ""
         for attempt in range(self.max_attempts):

@@ -76,6 +76,9 @@ class LLMGCModule(Module):
     """
 
     module_type = "llmgc"
+    # Self-repairing codegen mutates its own implementation between calls;
+    # concurrent execution could observe mid-repair state.
+    parallel_safe = False
 
     def __init__(
         self,

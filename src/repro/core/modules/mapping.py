@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.core.modules.base import ErrorPolicy, Module
+from repro.core.modules.base import ChunkOutcome, ErrorPolicy, Module
 
 __all__ = ["MapModule", "EnrichModule"]
 
@@ -27,9 +27,16 @@ class MapModule(Module):
     ``degrade`` the optional ``fallback`` module answers for it first, and
     only a double failure quarantines.  ``fail`` keeps the legacy
     abort-the-run behaviour.
+
+    Map application is chunk-capable: the parallel scheduler may split the
+    input list into record chunks and run :meth:`apply_chunk` on several
+    worker threads.  When the inner module exposes ``prefetch`` (the LLM
+    module does), each chunk first warms the service cache with one batched
+    provider call, so N records cost one provider round trip, not N.
     """
 
     module_type = "decorated"
+    chunk_capable = True
 
     def __init__(
         self,
@@ -43,15 +50,17 @@ class MapModule(Module):
         self.error_policy = ErrorPolicy.validate(error_policy)
         self.fallback = fallback
 
-    def _run(self, value: Any) -> Any:
-        if not isinstance(value, list):
-            raise TypeError(
-                f"{self.name} expects a list, got {type(value).__name__}"
-            )
+    def _apply_items(self, items: list[Any]) -> tuple[list[Any], int]:
+        """Run the per-item loop; returns ``(outputs, degraded_count)``.
+
+        Quarantined records flow through :meth:`quarantine_record`, which
+        respects an active ``collecting_quarantine`` bucket.
+        """
         if self.error_policy == ErrorPolicy.FAIL:
-            return [self.inner.run(item) for item in value]
+            return [self.inner.run(item) for item in items], 0
         out: list[Any] = []
-        for item in value:
+        degraded_count = 0
+        for item in items:
             try:
                 out.append(self.inner.run(item))
             except Exception as error:
@@ -62,13 +71,33 @@ class MapModule(Module):
                 ):
                     try:
                         out.append(self.fallback.run(item))
-                        self.stats.degraded += 1
+                        degraded_count += 1
                         degraded = True
                     except Exception as fallback_error:
                         error = fallback_error
                 if not degraded:
                     self.quarantine_record(item, error)
+        return out, degraded_count
+
+    def _run(self, value: Any) -> Any:
+        if not isinstance(value, list):
+            raise TypeError(
+                f"{self.name} expects a list, got {type(value).__name__}"
+            )
+        out, degraded = self._apply_items(value)
+        if degraded:
+            with self._lock:
+                self.stats.degraded += degraded
         return out
+
+    def apply_chunk(self, chunk: list[Any]) -> ChunkOutcome:
+        """Scheduler hook: process one record chunk in isolation."""
+        prefetch = getattr(self.inner, "prefetch", None)
+        if callable(prefetch):
+            prefetch(chunk)
+        with self.collecting_quarantine() as bucket:
+            out, degraded = self._apply_items(chunk)
+        return ChunkOutcome(outputs=out, quarantine=bucket, degraded=degraded)
 
     def describe(self) -> str:
         """Rendering that exposes the mapped module."""

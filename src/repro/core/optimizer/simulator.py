@@ -86,6 +86,9 @@ class SimulatedModule(Module):
     """
 
     module_type = "decorated"
+    # Online learner: predictions depend on how many samples arrived before
+    # each input, so record order must be preserved — never parallelise.
+    parallel_safe = False
 
     def __init__(
         self,

@@ -1,5 +1,6 @@
-"""Runtime facade: the single object user code talks to."""
+"""Runtime facade: the system object plus the concurrent scheduler."""
 
+from repro.core.runtime.scheduler import Scheduler
 from repro.core.runtime.system import LinguaManga
 
-__all__ = ["LinguaManga"]
+__all__ = ["LinguaManga", "Scheduler"]

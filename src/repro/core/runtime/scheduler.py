@@ -1,0 +1,206 @@
+"""The concurrent batched execution engine.
+
+The plan executor walks records one operator at a time, but inside one
+operator there is no reason to walk records one *thread* at a time: the LLM
+provider is the dominant latency source, and independent record chunks can
+be in flight simultaneously.  :class:`Scheduler` partitions an operator's
+list input into fixed-size record chunks and runs them on a bounded worker
+pool, then merges everything back **in chunk order**, which is what makes
+parallel runs reproducible:
+
+- every chunk executes inside an :meth:`LLMService.scoped` call scope — a
+  private ledger buffer plus a shadow virtual clock frozen at the
+  operator-entry time — so ledger records never interleave across threads;
+- scopes, quarantined records and degraded counts are merged in chunk
+  index order, not thread completion order;
+- chunk boundaries depend only on ``chunk_size`` (never on ``workers``),
+  so the same run at 1, 2 or 8 workers produces the same chunks;
+- after the merge, the new ledger slice is **canonicalised**: within each
+  group of records for the same prompt, served records are ordered before
+  cache hits, erasing the only observable trace of which thread happened
+  to win a request-coalescing race.
+
+The result is the determinism contract the test suite pins down: with a
+deterministic provider stack (and content-keyed chaos, if any), the same
+seed and fault spec yield byte-identical canonical run reports at any
+worker count.
+
+Modules opt in via ``chunk_capable`` + ``apply_chunk`` and can veto
+parallel execution for themselves or any wrapped child with
+``parallel_safe = False`` (online learners, self-repairing codegen).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Sequence
+
+from repro.core.modules.base import ChunkOutcome, Module
+from repro.llm.service import CallScope, LLMService
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "partition",
+    "tree_parallel_safe",
+    "canonicalize_ledger",
+    "Scheduler",
+]
+
+#: Default records per chunk.  Chunk boundaries are part of the observable
+#: execution (they decide batch-prime groups), so this must never be
+#: derived from the worker count.
+DEFAULT_CHUNK_SIZE = 8
+
+#: Attribute names under which wrapper modules expose wrapped children.
+_CHILD_ATTRIBUTES = ("inner", "stage", "fallback", "teacher", "primary", "wrapper")
+
+
+def partition(values: Sequence[Any], chunk_size: int) -> list[list[Any]]:
+    """Split ``values`` into consecutive chunks of ``chunk_size``.
+
+    The last chunk may be short.  Deterministic and independent of the
+    worker count by construction.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    return [
+        list(values[start : start + chunk_size])
+        for start in range(0, len(values), chunk_size)
+    ]
+
+
+def tree_parallel_safe(module: Module) -> bool:
+    """Whether ``module`` and every wrapped child tolerate parallelism."""
+    if not module.parallel_safe:
+        return False
+    for attribute in _CHILD_ATTRIBUTES:
+        child = getattr(module, attribute, None)
+        if isinstance(child, Module) and not tree_parallel_safe(child):
+            return False
+    children = getattr(module, "stages", None)
+    if isinstance(children, (list, tuple)):
+        for child in children:
+            if isinstance(child, Module) and not tree_parallel_safe(child):
+                return False
+    return True
+
+
+def canonicalize_ledger(records: list, mark: int) -> None:
+    """Normalise coalescing races in ``records[mark:]`` in place.
+
+    Sequential execution always serves the *first* occurrence of a prompt
+    and answers later duplicates from the cache.  Under coalescing, the
+    thread that wins leadership may belong to a later chunk, leaving the
+    served record at a later position.  Within each same-prompt group this
+    reorders records so non-cached entries precede cache hits (stable
+    otherwise), restoring the sequential shape byte for byte.
+    """
+    tail = records[mark:]
+    groups: dict[str, list[int]] = {}
+    for index, record in enumerate(tail):
+        groups.setdefault(record.prompt, []).append(index)
+    changed = False
+    for indices in groups.values():
+        if len(indices) < 2:
+            continue
+        group = [tail[i] for i in indices]
+        reordered = [r for r in group if not r.cached] + [
+            r for r in group if r.cached
+        ]
+        if reordered != group:
+            for i, record in zip(indices, reordered):
+                tail[i] = record
+            changed = True
+    if changed:
+        records[mark:] = tail
+
+
+class Scheduler:
+    """Bounded worker pool with deterministic chunk-order merging.
+
+    Parameters
+    ----------
+    workers:
+        Maximum concurrent chunks.  ``1`` runs chunks inline (no threads)
+        but through the *same* scope/merge machinery, so results are
+        byte-identical to any higher worker count.
+    chunk_size:
+        Records per chunk; ``None`` defers to the module's
+        ``preferred_chunk_size`` and then :data:`DEFAULT_CHUNK_SIZE`.
+    """
+
+    def __init__(self, workers: int = 1, chunk_size: int | None = None):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        self.chunk_size = chunk_size
+
+    def _chunk_size_for(self, module: Module) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        if module.preferred_chunk_size is not None:
+            return module.preferred_chunk_size
+        return DEFAULT_CHUNK_SIZE
+
+    def should_chunk(self, module: Module, value: Any) -> bool:
+        """Whether ``value`` can be split for ``module``."""
+        return (
+            isinstance(value, list)
+            and len(value) > 1
+            and module.chunk_capable
+            and tree_parallel_safe(module)
+        )
+
+    def run_operator(
+        self, module: Module, value: Any, service: LLMService
+    ) -> Any:
+        """Execute one operator, chunked and parallel where possible.
+
+        Falls back to a plain ``module.run(value)`` for non-list inputs
+        and modules that are not chunk-capable (or not parallel-safe).
+        """
+        if not self.should_chunk(module, value):
+            return module.run(value)
+
+        chunks = partition(value, self._chunk_size_for(module))
+        base = service.clock.now
+        mark = len(service.records)
+        started = time.perf_counter()
+        with module._lock:
+            module.stats.invocations += 1
+
+        def task(chunk: list[Any]) -> tuple[CallScope, ChunkOutcome]:
+            with service.scoped(base) as scope:
+                outcome = module.apply_chunk(chunk)
+            return scope, outcome
+
+        try:
+            if self.workers == 1 or len(chunks) == 1:
+                results = [task(chunk) for chunk in chunks]
+            else:
+                pool_size = min(self.workers, len(chunks))
+                with ThreadPoolExecutor(
+                    max_workers=pool_size, thread_name_prefix="repro-sched"
+                ) as pool:
+                    futures = [pool.submit(task, chunk) for chunk in chunks]
+                    results = [future.result() for future in futures]
+        except Exception:
+            with module._lock:
+                module.stats.failures += 1
+                module.stats.total_seconds += time.perf_counter() - started
+            raise
+
+        outputs: list[Any] = []
+        for scope, outcome in results:
+            service.merge_scope(scope)
+            with module._lock:
+                module.quarantine.extend(outcome.quarantine)
+                module.stats.quarantined += len(outcome.quarantine)
+                module.stats.degraded += outcome.degraded
+            outputs.extend(outcome.outputs)
+        with service._lock:
+            canonicalize_ledger(service.records, mark)
+        with module._lock:
+            module.stats.total_seconds += time.perf_counter() - started
+        return outputs

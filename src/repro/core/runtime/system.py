@@ -94,10 +94,22 @@ class LinguaManga:
         return self.compiler.compile(pipeline, optimize=optimize)
 
     def run(
-        self, pipeline: Pipeline, inputs: dict[str, Any] | None = None
+        self,
+        pipeline: Pipeline,
+        inputs: dict[str, Any] | None = None,
+        workers: int | None = None,
+        chunk_size: int | None = None,
     ) -> RunReport:
-        """Compile and execute in one step."""
-        return self.compile(pipeline).execute(inputs)
+        """Compile and execute in one step.
+
+        ``workers`` enables the concurrent scheduler (see
+        :meth:`repro.core.compiler.plan.PhysicalPlan.execute`): record
+        chunks of each operator run on a bounded thread pool with
+        deterministic merge order.  ``None`` keeps sequential execution.
+        """
+        return self.compile(pipeline).execute(
+            inputs, workers=workers, chunk_size=chunk_size
+        )
 
     # -- data and services ---------------------------------------------------------------
 

@@ -12,6 +12,7 @@ flaky one.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass, replace
 
@@ -87,7 +88,20 @@ class ChaosProvider(LLMProvider):
     an error kind raises, while ``latency``/``malformed`` faults mutate the
     inner provider's response on the way out (and compose if several fire).
     ``injected`` counts fired faults by kind for assertions and reports.
+
+    ``key_mode`` selects how fault decisions are keyed:
+
+    - ``"arrival"`` (default, legacy): a global call counter — replayable
+      for strictly sequential execution, but dependent on arrival order.
+    - ``"content"``: the prompt text plus that prompt's own attempt
+      counter — a given prompt's fault schedule is identical no matter when
+      (or on which thread) it arrives, which is what makes chaos runs under
+      the parallel scheduler byte-identical at any worker count.
+
+    ``schedule_preview`` only models ``"arrival"`` keying.
     """
+
+    KEY_MODES = ("arrival", "content")
 
     def __init__(
         self,
@@ -95,14 +109,22 @@ class ChaosProvider(LLMProvider):
         faults: list[FaultSpec],
         seed: int | str = "chaos",
         clock: VirtualClock | None = None,
+        key_mode: str = "arrival",
     ):
+        if key_mode not in self.KEY_MODES:
+            raise ValueError(
+                f"unknown key_mode {key_mode!r}; known: {self.KEY_MODES}"
+            )
         self.inner = inner
         self.model_name = inner.model_name
         self.faults = list(faults)
         self.seed = seed
         self.clock = clock or VirtualClock()
+        self.key_mode = key_mode
         self.injected: Counter[str] = Counter()
         self.calls = 0
+        self._attempts: Counter[str] = Counter()
+        self._lock = threading.Lock()
 
     def schedule_preview(self, n_calls: int) -> list[list[str]]:
         """The fault kinds that *would* fire on the next ``n_calls`` calls.
@@ -125,29 +147,41 @@ class ChaosProvider(LLMProvider):
             preview.append(fired)
         return preview
 
+    def _decision_key(self, request: LLMRequest) -> tuple[object, ...]:
+        """The stable-hash parts that decide this call's faults."""
+        with self._lock:
+            self.calls += 1
+            if self.key_mode == "content":
+                self._attempts[request.prompt] += 1
+                return (request.prompt, self._attempts[request.prompt])
+            return (self.calls,)
+
     def complete(self, request: LLMRequest) -> LLMResponse:
         """Serve the request, injecting any scheduled faults."""
-        self.calls += 1
+        key = self._decision_key(request)
         now = self.clock.now
         mutations: list[FaultSpec] = []
         for index, spec in enumerate(self.faults):
             if not spec.active_at(now):
                 continue
             if spec.kind == FaultKind.OUTAGE:
-                self.injected[spec.kind] += 1
+                with self._lock:
+                    self.injected[spec.kind] += 1
                 raise ProviderError(
-                    f"chaos: hard outage window at t={now:.1f}s (call {self.calls})"
+                    f"chaos: hard outage window at t={now:.1f}s"
                 )
-            if stable_unit(self.seed, self.calls, index) >= spec.rate:
+            if stable_unit(self.seed, *key, index) >= spec.rate:
                 continue
-            self.injected[spec.kind] += 1
+            with self._lock:
+                self.injected[spec.kind] += 1
+            tag = "attempt" if self.key_mode == "content" else "call"
             if spec.kind == FaultKind.TRANSIENT:
                 raise ProviderError(
-                    f"chaos: injected transient failure (call {self.calls})"
+                    f"chaos: injected transient failure ({tag} {key[-1]})"
                 )
             if spec.kind == FaultKind.RATE_LIMIT:
                 raise RateLimitError(
-                    f"chaos: injected rate limit (call {self.calls})",
+                    f"chaos: injected rate limit ({tag} {key[-1]})",
                     retry_after=spec.retry_after,
                 )
             mutations.append(spec)  # latency / malformed apply post-response

@@ -8,6 +8,8 @@ dropped in without touching anything above this layer.
 
 from __future__ import annotations
 
+import threading
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any
@@ -18,7 +20,14 @@ from repro.llm.knowledge import KnowledgeBase
 from repro.llm.skills import Skill, default_skills
 from repro.llm.tokenizer import count_tokens
 
-__all__ = ["LLMRequest", "LLMResponse", "LLMProvider", "SimulatedProvider", "FlakyProvider"]
+__all__ = [
+    "LLMRequest",
+    "LLMResponse",
+    "LLMProvider",
+    "SimulatedProvider",
+    "FlakyProvider",
+    "LatencyProvider",
+]
 
 
 @dataclass(frozen=True)
@@ -52,6 +61,17 @@ class LLMProvider(ABC):
     def complete(self, request: LLMRequest) -> LLMResponse:
         """Serve one completion (may raise :class:`ProviderError`)."""
 
+    def complete_batch(self, requests: list[LLMRequest]) -> list[LLMResponse]:
+        """Serve many completions in one provider round trip.
+
+        The default walks :meth:`complete` per request; back ends with a
+        native batch endpoint (or per-request connection overhead worth
+        amortising, like :class:`LatencyProvider`) override this.  The
+        whole batch fails if any request fails — the service's per-prompt
+        path handles partial recovery.
+        """
+        return [self.complete(request) for request in requests]
+
 
 class SimulatedProvider(LLMProvider):
     """Deterministic skill-routed simulation of a 2023-era instruction LLM.
@@ -71,6 +91,7 @@ class SimulatedProvider(LLMProvider):
         self.knowledge = knowledge or KnowledgeBase()
         self.skills = skills if skills is not None else default_skills()
         self.calls_served = 0
+        self._lock = threading.Lock()
 
     def complete(self, request: LLMRequest) -> LLMResponse:
         """Route ``request.prompt`` to a skill and answer deterministically."""
@@ -82,7 +103,8 @@ class SimulatedProvider(LLMProvider):
             raise ProviderError("no skill matched the prompt")
         prompt_tokens = count_tokens(request.prompt)
         completion_tokens = min(count_tokens(text), request.max_tokens)
-        self.calls_served += 1
+        with self._lock:
+            self.calls_served += 1
         latency = 0.25 + 0.004 * prompt_tokens + 0.018 * completion_tokens
         return LLMResponse(
             text=text,
@@ -114,13 +136,49 @@ class FlakyProvider(LLMProvider):
         self.rate_limit_rate = rate_limit_rate
         self.seed_tag = seed_tag
         self._counter = 0
+        self._lock = threading.Lock()
 
     def complete(self, request: LLMRequest) -> LLMResponse:
         """Fail deterministically by call index, else delegate."""
-        self._counter += 1
-        roll = stable_unit(self.seed_tag, self._counter)
+        with self._lock:
+            self._counter += 1
+            counter = self._counter
+        roll = stable_unit(self.seed_tag, counter)
         if roll < self.rate_limit_rate:
             raise RateLimitError(retry_after=0.5)
         if roll < self.rate_limit_rate + self.failure_rate:
-            raise ProviderError(f"simulated transient outage on call {self._counter}")
+            raise ProviderError(f"simulated transient outage on call {counter}")
         return self.inner.complete(request)
+
+
+class LatencyProvider(LLMProvider):
+    """Wall-clock latency injection: every round trip really sleeps.
+
+    The simulated provider *models* latency on the virtual clock so
+    experiments finish instantly; benchmarks that measure parallel speedup
+    need calls that genuinely take time.  Each :meth:`complete` sleeps
+    ``seconds``; :meth:`complete_batch` sleeps ``seconds`` once for the
+    whole batch — the amortisation a real batch endpoint provides.
+    """
+
+    def __init__(self, inner: LLMProvider, seconds: float = 0.05):
+        self.inner = inner
+        self.model_name = inner.model_name
+        self.seconds = seconds
+        self.round_trips = 0
+        self._lock = threading.Lock()
+
+    def _sleep_once(self) -> None:
+        time.sleep(self.seconds)
+        with self._lock:
+            self.round_trips += 1
+
+    def complete(self, request: LLMRequest) -> LLMResponse:
+        """Sleep one round trip, then delegate."""
+        self._sleep_once()
+        return self.inner.complete(request)
+
+    def complete_batch(self, requests: list[LLMRequest]) -> list[LLMResponse]:
+        """Sleep one round trip for the whole batch, then delegate each."""
+        self._sleep_once()
+        return [self.inner.complete(request) for request in requests]

@@ -17,16 +17,32 @@ evaluation is measured here.  The service wraps a provider with:
 Time is virtual: latency and every retry/cooldown wait are accumulated on a
 :class:`~repro.resilience.clock.VirtualClock` rather than slept, so
 experiments report realistic latency totals instantly.
+
+The service is **thread safe** and built for the concurrent scheduler
+(:mod:`repro.core.runtime.scheduler`):
+
+- identical in-flight prompts are **coalesced** — concurrent duplicates
+  wait for the leader's provider call and are answered as cache hits, so a
+  prompt is never served twice just because callers raced;
+- :meth:`prime` / :meth:`complete_many` are the **batched provider path**:
+  N distinct uncached prompts go to the provider as one
+  ``complete_batch`` request instead of N sequential calls;
+- :meth:`scoped` gives a worker thread its own ledger buffer and shadow
+  clock so the scheduler can merge per-chunk call records in a
+  deterministic order, independent of thread completion order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
 
 from repro.llm.errors import (
     BudgetExceededError,
     CircuitOpenError,
+    LLMError,
     ProviderError,
     RateLimitError,
 )
@@ -46,7 +62,7 @@ from repro.resilience.policy import (
     RetryPolicy,
 )
 
-__all__ = ["CallRecord", "UsageSummary", "LLMService"]
+__all__ = ["CallRecord", "UsageSummary", "CallScope", "LLMService"]
 
 
 @dataclass(frozen=True)
@@ -102,6 +118,27 @@ class UsageSummary:
         return text
 
 
+@dataclass
+class CallScope:
+    """A worker thread's private view of the service during one chunk.
+
+    Ledger records land in ``records`` instead of the shared ledger, and
+    time accrues on a **shadow clock** seeded from the shared clock's value
+    at operator entry.  The scheduler merges scopes in chunk order
+    (:meth:`LLMService.merge_scope`), which makes the ledger and the
+    virtual-clock total independent of thread interleaving.
+    """
+
+    base: float
+    clock: VirtualClock
+    records: list[CallRecord] = field(default_factory=list)
+
+    @property
+    def elapsed(self) -> float:
+        """Virtual time this scope accrued beyond its base."""
+        return self.clock.now - self.base
+
+
 class LLMService:
     """Cached, budgeted, resilient front end over an :class:`LLMProvider`.
 
@@ -131,7 +168,10 @@ class LLMService:
         self.clock = clock or VirtualClock()
         self.records: list[CallRecord] = []
         self._cache: dict[tuple[str, int], LLMResponse] = {}
-        self._call_index = 0
+        self._lock = threading.RLock()
+        self._tls = threading.local()
+        self._inflight: dict[tuple[str, int], threading.Event] = {}
+        self.coalesced_calls = 0
         self.breakers = self._build_breakers()
 
     def _provider_chain(self) -> list[LLMProvider]:
@@ -161,6 +201,51 @@ class LLMService:
     def clock_seconds(self, value: float) -> None:
         self.clock.now = value
 
+    # -- worker scopes -----------------------------------------------------------
+
+    @contextmanager
+    def scoped(self, base: float | None = None) -> Iterator[CallScope]:
+        """Buffer this thread's ledger records and clock advances.
+
+        The scheduler wraps each record chunk in a scope so that calls made
+        concurrently do not interleave in the shared ledger; scopes are
+        merged afterwards in deterministic chunk order.  The shadow clock
+        starts at ``base`` (default: the shared clock's current value), so
+        every chunk of one operator observes the same virtual start time
+        regardless of worker count.
+        """
+        if getattr(self._tls, "scope", None) is not None:
+            raise RuntimeError("LLMService scopes do not nest")
+        if base is None:
+            base = self.clock.now
+        scope = CallScope(base=base, clock=VirtualClock(base))
+        self._tls.scope = scope
+        try:
+            yield scope
+        finally:
+            self._tls.scope = None
+
+    def merge_scope(self, scope: CallScope) -> None:
+        """Fold a finished scope into the shared ledger and clock."""
+        with self._lock:
+            self.records.extend(scope.records)
+            self.clock.advance(scope.elapsed)
+
+    def _scope(self) -> CallScope | None:
+        return getattr(self._tls, "scope", None)
+
+    def _active_clock(self) -> VirtualClock:
+        scope = self._scope()
+        return scope.clock if scope is not None else self.clock
+
+    def _record(self, record: CallRecord) -> None:
+        scope = self._scope()
+        if scope is not None:
+            scope.records.append(record)
+            return
+        with self._lock:
+            self.records.append(record)
+
     # -- core API --------------------------------------------------------------
 
     def complete(self, prompt: str, purpose: str = "", max_tokens: int = 256) -> str:
@@ -171,32 +256,67 @@ class LLMService:
         refuses the call, and :class:`ProviderError` when every provider and
         retry is exhausted.  Failed calls are still recorded in the ledger
         with their resilience outcome.
+
+        Concurrent callers asking the identical ``(prompt, max_tokens)``
+        are **coalesced** (cache enabled only): one caller leads the
+        provider call, the rest wait and are answered as cache hits.  A
+        leader failure releases the followers, who then retry leadership
+        one at a time — so per-prompt provider attempts stay sequential and
+        deterministic even under heavy concurrency.
         """
         cache_key = (prompt, max_tokens)
-        if self.cache_enabled and cache_key in self._cache:
-            response = self._cache[cache_key]
-            self.records.append(
-                CallRecord(
-                    prompt=prompt,
-                    response_text=response.text,
-                    prompt_tokens=response.prompt_tokens,
-                    completion_tokens=response.completion_tokens,
-                    cost=0.0,
-                    cached=True,
-                    skill=response.skill,
-                    purpose=purpose,
-                    latency_seconds=0.0,
-                    outcome=OUTCOME_CACHED,
-                )
-            )
-            return response.text
+        if not self.cache_enabled:
+            return self._complete_uncached(prompt, purpose, max_tokens)
+        while True:
+            leader_gate: threading.Event | None = None
+            with self._lock:
+                cached = self._cache.get(cache_key)
+                if cached is None:
+                    leader_gate = self._inflight.get(cache_key)
+                    if leader_gate is None:
+                        self._inflight[cache_key] = threading.Event()
+            if cached is not None:
+                self._record(self._cached_record(cached, prompt, purpose))
+                return cached.text
+            if leader_gate is None:
+                break  # this thread leads the provider call
+            with self._lock:
+                self.coalesced_calls += 1
+            leader_gate.wait()
+            # Re-check: the leader either cached a response (-> hit) or
+            # failed (-> compete to become the next leader).
+        try:
+            return self._complete_uncached(prompt, purpose, max_tokens)
+        finally:
+            with self._lock:
+                gate = self._inflight.pop(cache_key, None)
+            if gate is not None:
+                gate.set()
 
+    def _cached_record(
+        self, response: LLMResponse, prompt: str, purpose: str
+    ) -> CallRecord:
+        return CallRecord(
+            prompt=prompt,
+            response_text=response.text,
+            prompt_tokens=response.prompt_tokens,
+            completion_tokens=response.completion_tokens,
+            cost=0.0,
+            cached=True,
+            skill=response.skill,
+            purpose=purpose,
+            latency_seconds=0.0,
+            outcome=OUTCOME_CACHED,
+        )
+
+    def _complete_uncached(self, prompt: str, purpose: str, max_tokens: int) -> str:
+        """Provider path: budget check, resilient call, record, cache."""
         self._check_budget()
         request = LLMRequest(prompt=prompt, max_tokens=max_tokens)
         response, outcome, retries = self._complete_resilient(request, purpose)
         cost = estimate_cost(response.prompt_tokens, response.completion_tokens)
-        self.clock.advance(response.latency_seconds)
-        self.records.append(
+        self._active_clock().advance(response.latency_seconds)
+        self._record(
             CallRecord(
                 prompt=prompt,
                 response_text=response.text,
@@ -212,8 +332,121 @@ class LLMService:
             )
         )
         if self.cache_enabled:
-            self._cache[cache_key] = response
+            with self._lock:
+                self._cache[(prompt, max_tokens)] = response
         return response.text
+
+    # -- batched provider path ----------------------------------------------------
+
+    def prime(
+        self, prompts: Sequence[str], purpose: str = "", max_tokens: int = 256
+    ) -> int:
+        """Warm the cache for ``prompts`` via one batched provider call.
+
+        The distinct prompts that are neither cached nor already in flight
+        are submitted together through :meth:`LLMProvider.complete_batch`
+        (N prompts per call instead of N calls).  Best effort: a batch
+        failure is swallowed so per-item calls can retry with the full
+        resilience policy.  Returns the number of prompts served.
+        """
+        if not self.cache_enabled:
+            return 0
+        batch: list[tuple[tuple[str, int], str]] = []
+        with self._lock:
+            for prompt in prompts:
+                key = (prompt, max_tokens)
+                if key in self._cache or key in self._inflight:
+                    continue
+                if any(k == key for k, _ in batch):
+                    continue
+                self._inflight[key] = threading.Event()
+                batch.append((key, prompt))
+        if not batch:
+            return 0
+        served = 0
+        try:
+            requests = [
+                LLMRequest(prompt=prompt, max_tokens=max_tokens)
+                for _, prompt in batch
+            ]
+            try:
+                self._check_budget()
+                responses = self._batch_resilient(requests)
+            except LLMError:
+                responses = None
+            if responses is not None:
+                clock = self._active_clock()
+                for (key, prompt), (response, outcome, retries) in zip(
+                    batch, responses
+                ):
+                    cost = estimate_cost(
+                        response.prompt_tokens, response.completion_tokens
+                    )
+                    clock.advance(response.latency_seconds)
+                    self._record(
+                        CallRecord(
+                            prompt=prompt,
+                            response_text=response.text,
+                            prompt_tokens=response.prompt_tokens,
+                            completion_tokens=response.completion_tokens,
+                            cost=cost,
+                            cached=False,
+                            skill=response.skill,
+                            purpose=purpose,
+                            latency_seconds=response.latency_seconds,
+                            retries=retries,
+                            outcome=outcome,
+                        )
+                    )
+                    with self._lock:
+                        self._cache[key] = response
+                    served += 1
+        finally:
+            with self._lock:
+                gates = [self._inflight.pop(key, None) for key, _ in batch]
+            for gate in gates:
+                if gate is not None:
+                    gate.set()
+        return served
+
+    def _batch_resilient(
+        self, requests: list[LLMRequest]
+    ) -> list[tuple[LLMResponse, str, int]] | None:
+        """One retried ``complete_batch`` against the primary provider.
+
+        Returns ``None`` when the batch path is exhausted (callers fall
+        back to per-prompt resilient calls); never raises provider errors.
+        """
+        clock = self._active_clock()
+        for attempt in range(self.policy.retry.max_retries + 1):
+            try:
+                responses = self.provider.complete_batch(requests)
+            except RateLimitError as error:
+                wait = error.retry_after
+            except ProviderError:
+                wait = self.policy.retry.delay(attempt, key=requests[0].prompt)
+            else:
+                outcome = OUTCOME_SERVED if attempt == 0 else OUTCOME_RETRIED
+                return [(response, outcome, attempt) for response in responses]
+            if attempt >= self.policy.retry.max_retries:
+                return None
+            clock.advance(wait)
+        return None
+
+    def complete_many(
+        self, prompts: Sequence[str], purpose: str = "", max_tokens: int = 256
+    ) -> list[str]:
+        """Answer many prompts, batching the distinct uncached ones.
+
+        Equivalent to calling :meth:`complete` per prompt, except the cache
+        is first primed with one batched provider request; per-prompt
+        semantics (ledger records, errors, resilience) are unchanged.
+        """
+        self.prime(prompts, purpose=purpose, max_tokens=max_tokens)
+        return [
+            self.complete(prompt, purpose=purpose, max_tokens=max_tokens)
+            for prompt in prompts
+        ]
 
     def _complete_resilient(
         self, request: LLMRequest, purpose: str
@@ -224,26 +457,28 @@ class LLMService:
         records a failure ledger entry and raises.
         """
         policy = self.policy
-        call_key = self._call_index
-        self._call_index += 1
-        started = self.clock.now
+        # Keyed on the prompt (not a shared call counter) so the jitter
+        # schedule is deterministic regardless of thread arrival order.
+        call_key = request.prompt
+        clock = self._active_clock()
+        started = clock.now
         last_error: ProviderError | None = None
         saw_open = False
         chain = self._provider_chain()
 
         for p_index, provider in enumerate(chain):
             breaker = self.breakers[p_index] if p_index < len(self.breakers) else None
-            if breaker is not None and not breaker.allow(self.clock.now):
+            if breaker is not None and not breaker.allow(clock.now):
                 if p_index < len(chain) - 1:
                     saw_open = True  # divert to the next provider immediately
                     continue
                 # Last provider: block (in virtual time) until the breaker
                 # would allow a half-open probe, bounded by the deadline.
-                wait = breaker.remaining(self.clock.now)
+                wait = breaker.remaining(clock.now)
                 if policy.deadline is not None:
-                    wait = policy.deadline.clamp(wait, self.clock.now - started)
-                self.clock.advance(wait)
-                if not breaker.allow(self.clock.now):
+                    wait = policy.deadline.clamp(wait, clock.now - started)
+                clock.advance(wait)
+                if not breaker.allow(clock.now):
                     saw_open = True
                     continue
             for attempt in range(policy.retry.max_retries + 1):
@@ -257,23 +492,23 @@ class LLMService:
                     wait = policy.retry.delay(attempt, key=call_key)
                 else:
                     if breaker is not None:
-                        breaker.record_success(self.clock.now)
+                        breaker.record_success(clock.now)
                     if p_index == 0:
                         outcome = OUTCOME_SERVED if attempt == 0 else OUTCOME_RETRIED
                     else:
                         outcome = OUTCOME_FALLBACK
                     return response, outcome, attempt
                 if breaker is not None:
-                    breaker.record_failure(self.clock.now)
+                    breaker.record_failure(clock.now)
                 if attempt >= policy.retry.max_retries:
                     break
-                elapsed = self.clock.now - started
+                elapsed = clock.now - started
                 if policy.deadline is not None:
                     if policy.deadline.exhausted(elapsed):
                         break
                     wait = policy.deadline.clamp(wait, elapsed)
-                self.clock.advance(wait)
-                if breaker is not None and not breaker.allow(self.clock.now):
+                clock.advance(wait)
+                if breaker is not None and not breaker.allow(clock.now):
                     break  # opened mid-storm: stop hammering this provider
 
         if policy.fallback is not None and policy.fallback.degraded is not None:
@@ -293,7 +528,7 @@ class LLMService:
             if saw_open and last_error is None
             else OUTCOME_GAVE_UP
         )
-        self.records.append(
+        self._record(
             CallRecord(
                 prompt=request.prompt,
                 response_text="",
@@ -318,14 +553,19 @@ class LLMService:
         )
 
     def _check_budget(self) -> None:
-        if self.max_calls is not None and self.served_calls >= self.max_calls:
-            raise BudgetExceededError(
-                f"call budget exhausted ({self.served_calls}/{self.max_calls})"
-            )
-        if self.max_cost is not None and self.total_cost >= self.max_cost:
-            raise BudgetExceededError(
-                f"cost budget exhausted (${self.total_cost:.4f}/${self.max_cost:.4f})"
-            )
+        # Budget checks read the merged ledger; records still buffered in
+        # unfinished worker scopes are not yet visible, so under heavy
+        # parallelism a budget may be overshot by up to one in-flight wave.
+        with self._lock:
+            if self.max_calls is not None and self.served_calls >= self.max_calls:
+                raise BudgetExceededError(
+                    f"call budget exhausted ({self.served_calls}/{self.max_calls})"
+                )
+            if self.max_cost is not None and self.total_cost >= self.max_cost:
+                raise BudgetExceededError(
+                    f"cost budget exhausted "
+                    f"(${self.total_cost:.4f}/${self.max_cost:.4f})"
+                )
 
     # -- accounting --------------------------------------------------------------
 
@@ -351,9 +591,10 @@ class LLMService:
 
     def usage(self, purpose: str | None = None) -> UsageSummary:
         """Aggregate usage, optionally filtered to one ``purpose`` label."""
-        records: Iterable[CallRecord] = self.records
+        with self._lock:
+            records: Iterable[CallRecord] = list(self.records)
         if purpose is not None:
-            records = [r for r in self.records if r.purpose == purpose]
+            records = [r for r in records if r.purpose == purpose]
         records = list(records)
         return UsageSummary(
             total_calls=len(records),
@@ -396,9 +637,11 @@ class LLMService:
 
     def reset_usage(self) -> None:
         """Clear the ledger and virtual clock (cache is kept)."""
-        self.records.clear()
-        self.clock.reset()
+        with self._lock:
+            self.records.clear()
+            self.clock.reset()
 
     def clear_cache(self) -> None:
         """Drop all cached responses."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()

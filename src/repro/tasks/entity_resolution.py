@@ -50,13 +50,22 @@ def pairs_as_inputs(pairs: list[RecordPair]) -> list[dict]:
 
 
 def run_lingua_manga_er(
-    system: LinguaManga, dataset: ERDataset, n_examples: int = 4
+    system: LinguaManga,
+    dataset: ERDataset,
+    n_examples: int = 4,
+    workers: int | None = None,
 ) -> ERResult:
-    """Instantiate the ER template, run it on the test split, score F1."""
+    """Instantiate the ER template, run it on the test split, score F1.
+
+    ``workers`` routes execution through the concurrent scheduler; results
+    are identical at any worker count (see the determinism test suite).
+    """
     examples = pick_examples(dataset.train, n_examples)
     pipeline = get_template("entity_resolution").instantiate(examples=examples)
     before = system.usage()
-    report = system.run(pipeline, {"pairs": pairs_as_inputs(dataset.test)})
+    report = system.run(
+        pipeline, {"pairs": pairs_as_inputs(dataset.test)}, workers=workers
+    )
     after = system.usage()
     verdicts = next(iter(report.outputs.values()))
     predictions = [int(bool(v)) for v in verdicts]

@@ -54,7 +54,9 @@ def _score(
 
 
 def run_llm_imputation(
-    system: LinguaManga, records: list[ImputationRecord]
+    system: LinguaManga,
+    records: list[ImputationRecord],
+    workers: int | None = None,
 ) -> ImputationResult:
     """Pure LLM-module pipeline: one (validated) prompt per record."""
     pipeline = (
@@ -65,7 +67,9 @@ def run_llm_imputation(
         .build()
     )
     before = system.usage()
-    report = system.run(pipeline, {"records": [r.visible() for r in records]})
+    report = system.run(
+        pipeline, {"records": [r.visible() for r in records]}, workers=workers
+    )
     after = system.usage()
     return _score(
         "pure_llm",
@@ -78,12 +82,21 @@ def run_llm_imputation(
 
 
 def run_hybrid_imputation(
-    system: LinguaManga, records: list[ImputationRecord]
+    system: LinguaManga,
+    records: list[ImputationRecord],
+    workers: int | None = None,
 ) -> ImputationResult:
-    """The expert template: LLMGC rules + LLM escalation (Figure 4)."""
+    """The expert template: LLMGC rules + LLM escalation (Figure 4).
+
+    ``workers`` is accepted for API symmetry with the other task runners;
+    the LLMGC stage is not parallel-safe (self-repairing codegen), so the
+    scheduler runs it whole-input sequentially either way.
+    """
     pipeline = get_template("data_imputation").instantiate()
     before = system.usage()
-    report = system.run(pipeline, {"records": [r.visible() for r in records]})
+    report = system.run(
+        pipeline, {"records": [r.visible() for r in records]}, workers=workers
+    )
     after = system.usage()
     return _score(
         "hybrid_llmgc",

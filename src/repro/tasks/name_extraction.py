@@ -55,6 +55,7 @@ def run_name_extraction(
     multilingual: bool = True,
     simulate_tagging: bool = False,
     variant: str | None = None,
+    workers: int | None = None,
 ) -> NameExtractionResult:
     """Run the Figure 3 template over ``documents`` and score it."""
     pipeline = get_template("name_extraction").instantiate(
@@ -62,7 +63,9 @@ def run_name_extraction(
     )
     before = system.usage()
     report = system.run(
-        pipeline, {"documents": [{"text": d.text} for d in documents]}
+        pipeline,
+        {"documents": [{"text": d.text} for d in documents]},
+        workers=workers,
     )
     after = system.usage()
     enriched = next(iter(report.outputs.values()))
