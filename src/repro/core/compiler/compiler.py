@@ -8,6 +8,10 @@ the compiler also honours the optimizer attachments declared on operators:
   cycle on the bound module at compile time (LLMGC modules get repaired).
 - ``simulate=True`` (plus optional ``simulate_config={...}``) — wrap the
   per-item module with the optimizer's ML simulator.
+- ``distill=True`` (plus optional ``distill_config={...}``) — wrap the
+  per-item module with the optimizer's cost-minimizing distillation
+  router, which answers high-confidence records with a shadow-trained
+  local model and ledgers them with ``distilled`` provenance.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from repro.core.dsl.pipeline import Pipeline
 from repro.core.modules.base import Module
 from repro.core.modules.llmgc import LLMGCModule
 from repro.core.modules.mapping import EnrichModule, MapModule
+from repro.core.optimizer.distill import DistillationRouter
 from repro.core.optimizer.simulator import SimulatedModule
 from repro.core.optimizer.validator import ModuleValidator, TestCase, ValidationReport
 
@@ -70,6 +75,7 @@ class LinguaMangaCompiler:
             module = build_module(operator, self.context)
             module = self._apply_validator(operator, module)
             module = self._apply_simulator(operator, module)
+            module = self._apply_distill(operator, module)
             bound.append(BoundOperator(operator=operator, module=module))
         return PhysicalPlan(pipeline=pipeline, bound=bound, context=self.context)
 
@@ -113,6 +119,34 @@ class LinguaMangaCompiler:
         def wrap(teacher: Module) -> SimulatedModule:
             return SimulatedModule(
                 name=f"{operator.name}_simulated", teacher=teacher, **config
+            )
+
+        target = _innermost(module)
+        holder = getattr(target, "tagger_holder", None)
+        if holder is not None:
+            holder["tagger"] = wrap(holder["tagger"])
+            return module
+        if isinstance(module, MapModule):
+            module.inner = wrap(module.inner)
+            return module
+        if isinstance(module, EnrichModule) and isinstance(module.stage, Module):
+            module.stage = wrap(module.stage)
+            return module
+        return wrap(module)
+
+    def _apply_distill(self, operator: LogicalOperator, module: Module) -> Module:
+        if not operator.params.get("distill", False):
+            return module
+        config = dict(operator.params.get("distill_config", {}))
+        config.setdefault("featurize", _default_featurize)
+
+        def wrap(teacher: Module) -> DistillationRouter:
+            return DistillationRouter(
+                name=f"{operator.name}_distilled",
+                teacher=teacher,
+                service=self.context.service,
+                purpose=getattr(teacher, "purpose", None),
+                **config,
             )
 
         target = _innermost(module)

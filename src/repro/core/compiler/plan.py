@@ -152,6 +152,8 @@ class RunReport:
                 "retries": self.cost.retries,
                 "fallback_calls": self.cost.fallback_calls,
                 "failed_calls": self.cost.failed_calls,
+                "near_hits": self.cost.near_hits,
+                "distilled_calls": self.cost.distilled_calls,
             },
         }
 

@@ -54,11 +54,13 @@ class BatchLLMModule(Module):
         fallback: Module | None = None,
         purpose: str | None = None,
         error_policy: str = ErrorPolicy.FAIL,
+        prompt_version: str = "",
     ):
         super().__init__(name)
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
         self.error_policy = ErrorPolicy.validate(error_policy)
+        self.prompt_version = prompt_version
         self.service = service
         self.task_description = task_description
         self.render_item = render_item
@@ -123,7 +125,10 @@ class BatchLLMModule(Module):
             batch = [values[i] for i in indices]
             try:
                 response = self.service.complete(
-                    self.build_prompt(batch), purpose=self.purpose, max_tokens=1024
+                    self.build_prompt(batch),
+                    purpose=self.purpose,
+                    max_tokens=1024,
+                    version=self.prompt_version,
                 )
             except LLMError as batch_error:
                 if self.error_policy == ErrorPolicy.FAIL:

@@ -84,6 +84,11 @@ class LLMModule(Module):
         the module gives up and raises.
     instructions:
         Extra standing instructions (domain knowledge injected in NL).
+    prompt_version:
+        Version tag mixed into the service's cache keys.  Bump it whenever
+        the prompt template's *semantics* change (task rewording, new
+        parser) so stale cached answers from the previous revision — or
+        from another skill sharing a prompt string — can never be served.
     """
 
     module_type = "llm"
@@ -101,6 +106,7 @@ class LLMModule(Module):
         instructions: str = "",
         max_attempts: int = 2,
         purpose: str | None = None,
+        prompt_version: str = "",
     ):
         super().__init__(name)
         self.service = service
@@ -113,6 +119,7 @@ class LLMModule(Module):
         self.instructions = instructions
         self.max_attempts = max(1, max_attempts)
         self.purpose = purpose or name
+        self.prompt_version = prompt_version
         self.validation_retries = 0
         self.provider_failures = 0
 
@@ -152,14 +159,18 @@ class LLMModule(Module):
         owns retry/fallback/quarantine semantics.
         """
         prompts = [self.build_prompt(value, strictness=0) for value in values]
-        return self.service.prime(prompts, purpose=self.purpose)
+        return self.service.prime(
+            prompts, purpose=self.purpose, version=self.prompt_version
+        )
 
     def _run(self, value: Any) -> Any:
         last_problem = ""
         for attempt in range(self.max_attempts):
             prompt = self.build_prompt(value, strictness=attempt)
             try:
-                text = self.service.complete(prompt, purpose=self.purpose)
+                text = self.service.complete(
+                    prompt, purpose=self.purpose, version=self.prompt_version
+                )
             except ProviderError:
                 # The service already exhausted its resilience policy
                 # (retries, fallback providers, breaker); count it so run

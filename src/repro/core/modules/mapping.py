@@ -90,11 +90,22 @@ class MapModule(Module):
                 self.stats.degraded += degraded
         return out
 
-    def apply_chunk(self, chunk: list[Any]) -> ChunkOutcome:
-        """Scheduler hook: process one record chunk in isolation."""
+    def prefetch(self, values: list[Any]) -> int:
+        """Delegate cache warming to the inner module (if it supports it).
+
+        Makes prefetch compose through wrapper stacks — a map over a map
+        (or over a distillation router exposing its teacher's prefetch)
+        still batches provider calls per chunk.  The service consults both
+        cache tiers before priming, so a warm run prefetches nothing.
+        """
         prefetch = getattr(self.inner, "prefetch", None)
         if callable(prefetch):
-            prefetch(chunk)
+            return prefetch(values)
+        return 0
+
+    def apply_chunk(self, chunk: list[Any]) -> ChunkOutcome:
+        """Scheduler hook: process one record chunk in isolation."""
+        self.prefetch(chunk)
         with self.collecting_quarantine() as bucket:
             out, degraded = self._apply_items(chunk)
         return ChunkOutcome(outputs=out, quarantine=bucket, degraded=degraded)

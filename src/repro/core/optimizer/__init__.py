@@ -12,6 +12,7 @@ from repro.core.optimizer.crosscheck import (
     CrossCheckStats,
     make_llm_variants,
 )
+from repro.core.optimizer.distill import DistillationRouter, DistillStats
 from repro.core.optimizer.simulator import SimulatedModule, SimulatorStats
 from repro.core.optimizer.validator import (
     CaseResult,
@@ -31,6 +32,8 @@ __all__ = [
     "CostComparison",
     "CostSnapshot",
     "CostTracker",
+    "DistillationRouter",
+    "DistillStats",
     "SimulatedModule",
     "SimulatorStats",
     "CaseResult",

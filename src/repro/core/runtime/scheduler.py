@@ -86,15 +86,33 @@ def tree_parallel_safe(module: Module) -> bool:
     return True
 
 
+def _canonical_rank(record) -> int:
+    """Within one same-prompt group, the order sequential execution produces.
+
+    The record that *originated* the answer precedes the exact-cache hits
+    it feeds: a provider call first, then a near-duplicate donor, then a
+    distilled answer, then plain exact hits.
+    """
+    if not record.cached:
+        return 0
+    provenance = getattr(record, "provenance", "")
+    if provenance == "cache-near":
+        return 1
+    if provenance == "distilled":
+        return 2
+    return 3
+
+
 def canonicalize_ledger(records: list, mark: int) -> None:
     """Normalise coalescing races in ``records[mark:]`` in place.
 
     Sequential execution always serves the *first* occurrence of a prompt
     and answers later duplicates from the cache.  Under coalescing, the
     thread that wins leadership may belong to a later chunk, leaving the
-    served record at a later position.  Within each same-prompt group this
-    reorders records so non-cached entries precede cache hits (stable
-    otherwise), restoring the sequential shape byte for byte.
+    originating record (a provider call or a near-duplicate cache hit) at
+    a later position.  Within each same-prompt group this reorders records
+    so originating entries precede exact-cache hits (stable otherwise),
+    restoring the sequential shape byte for byte.
     """
     tail = records[mark:]
     groups: dict[str, list[int]] = {}
@@ -105,9 +123,7 @@ def canonicalize_ledger(records: list, mark: int) -> None:
         if len(indices) < 2:
             continue
         group = [tail[i] for i in indices]
-        reordered = [r for r in group if not r.cached] + [
-            r for r in group if r.cached
-        ]
+        reordered = sorted(group, key=_canonical_rank)  # stable
         if reordered != group:
             for i, record in zip(indices, reordered):
                 tail[i] = record

@@ -44,6 +44,11 @@ class LinguaManga:
     knowledge:
         Knowledge-base overrides for the simulated provider (ignored when a
         custom ``service`` is given).
+    cache_path:
+        Optional JSONL journal for the prompt cache (ignored when a custom
+        ``service`` is given): answers persist across processes, so a
+        second run of the same app warm-starts instead of re-paying the
+        provider.
     """
 
     def __init__(
@@ -51,10 +56,11 @@ class LinguaManga:
         service: LLMService | None = None,
         database: Database | None = None,
         knowledge: KnowledgeBase | None = None,
+        cache_path: str | None = None,
     ):
         if service is None:
             provider = SimulatedProvider(knowledge=knowledge)
-            service = LLMService(provider)
+            service = LLMService(provider, cache_path=cache_path)
         self.service = service
         self.database = database or Database()
         self.context = CompilerContext(service=self.service, database=self.database)

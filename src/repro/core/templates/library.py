@@ -33,11 +33,37 @@ class Template:
 # ---------------------------------------------------------------------------
 
 
+def _pair_similarity_vectorize() -> Callable[[Any], Any]:
+    """Feature map for the ER distillation student.
+
+    Turns a ``{"left": record, "right": record}`` pipeline input into a
+    Magellan-style per-attribute similarity vector.  Extractors are cached
+    per attribute schema so mixed-schema inputs stay well formed.
+    """
+    from repro.ml.features import PairFeatureExtractor
+
+    extractors: dict[tuple[str, ...], PairFeatureExtractor] = {}
+
+    def vectorize(value: Any) -> Any:
+        left = value.get("left", {}) if isinstance(value, dict) else {}
+        right = value.get("right", {}) if isinstance(value, dict) else {}
+        attributes = tuple(sorted(set(left) | set(right)))
+        extractor = extractors.get(attributes)
+        if extractor is None:
+            extractor = PairFeatureExtractor(attributes)
+            extractors[attributes] = extractor
+        return extractor.transform_pair(left, right)
+
+    return vectorize
+
+
 def _entity_resolution_template(
     examples: list[tuple[Any, bool]] | None = None,
     task: str | None = None,
     instructions: str = "",
     error_policy: str | None = None,
+    distill: bool = False,
+    distill_config: dict[str, Any] | None = None,
 ) -> Pipeline:
     """Figure 2b: the built-in, well-optimized ER pipeline.
 
@@ -46,6 +72,10 @@ def _entity_resolution_template(
     "label efficient" story: a handful of examples, not thousands.
     ``error_policy="skip_record"`` makes the matcher quarantine poisoned
     pairs instead of aborting the run (chaos/production mode).
+    ``distill=True`` attaches the optimizer's cost-minimizing distillation
+    router to the matcher: a local classifier shadow-trains on the LLM's
+    verdicts and takes over high-confidence pairs once its held-out
+    accuracy clears the bar.
     """
     builder = PipelineBuilder(
         "entity_resolution_template",
@@ -60,6 +90,19 @@ def _entity_resolution_template(
         params["instructions"] = instructions
     if error_policy:
         params["error_policy"] = error_policy
+    if distill:
+        params["distill"] = True
+        config = dict(distill_config or {})
+        # The student that actually distils an LLM matcher is the Magellan
+        # shape: a forest over per-attribute similarity features, not a
+        # bag-of-hashed-tokens text model.
+        config.setdefault("student", "forest")
+        config.setdefault("vectorize", _pair_similarity_vectorize())
+        config.setdefault("min_samples", 40)
+        config.setdefault("accuracy_bar", 0.85)
+        config.setdefault("confidence_threshold", 0.9)
+        config.setdefault("refit_every", 20)
+        params["distill_config"] = config
     return (
         builder.load(source="pairs")
         .match_entities(**params)

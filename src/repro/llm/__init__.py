@@ -12,6 +12,17 @@ from repro.llm.errors import (
     ProviderError,
     RateLimitError,
 )
+from repro.llm.cache import (
+    PROVENANCE_CACHE_EXACT,
+    PROVENANCE_CACHE_NEAR,
+    PROVENANCE_DISTILLED,
+    PROVENANCE_PROVIDER,
+    CacheJournal,
+    CacheKey,
+    CacheStats,
+    NearDuplicateIndex,
+    PromptCache,
+)
 from repro.llm.faults import ChaosProvider, FaultKind, FaultSpec
 from repro.llm.knowledge import KnowledgeBase
 from repro.llm.providers import (
@@ -43,6 +54,15 @@ __all__ = [
     "CallRecord",
     "LLMService",
     "UsageSummary",
+    "PROVENANCE_PROVIDER",
+    "PROVENANCE_CACHE_EXACT",
+    "PROVENANCE_CACHE_NEAR",
+    "PROVENANCE_DISTILLED",
+    "CacheJournal",
+    "CacheKey",
+    "CacheStats",
+    "NearDuplicateIndex",
+    "PromptCache",
     "count_tokens",
     "estimate_cost",
 ]

@@ -57,6 +57,17 @@ class LLMProvider(ABC):
 
     model_name: str = "unknown"
 
+    def cache_identity(self) -> str:
+        """Identity string mixed into prompt-cache keys.
+
+        Two providers whose answers are interchangeable must share an
+        identity; any behavioural change must change it, or stale answers
+        leak across providers.  The model name is the right default —
+        wrappers (flaky/latency/chaos) inherit their inner model's identity
+        because they change *delivery*, not answers.
+        """
+        return self.model_name
+
     @abstractmethod
     def complete(self, request: LLMRequest) -> LLMResponse:
         """Serve one completion (may raise :class:`ProviderError`)."""

@@ -4,8 +4,10 @@ Lingua Manga's "Highly Performant" property (paper section 1) is about
 *minimising LLM service calls* — every cost and call-count number in the
 evaluation is measured here.  The service wraps a provider with:
 
-- a **response cache** (identical prompt+max_tokens pairs are answered
-  locally for free),
+- a **layered prompt cache** (:mod:`repro.llm.cache`): exact hits on a
+  versioned key (provider identity, prompt-template version, prompt,
+  ``max_tokens``), near-duplicate hits against a sealed warm snapshot,
+  and optional JSONL persistence so repeated runs warm-start,
 - a **budget** (max calls and/or max dollars; exceeding raises
   :class:`BudgetExceededError`),
 - a **resilience policy** (retry backoff, per-call deadline, circuit
@@ -37,8 +39,17 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
+from repro.llm.cache import (
+    PROVENANCE_CACHE_EXACT,
+    PROVENANCE_CACHE_NEAR,
+    PROVENANCE_DISTILLED,
+    PROVENANCE_PROVIDER,
+    CacheKey,
+    PromptCache,
+)
 from repro.llm.errors import (
     BudgetExceededError,
     CircuitOpenError,
@@ -64,6 +75,8 @@ from repro.resilience.policy import (
 
 __all__ = ["CallRecord", "UsageSummary", "CallScope", "LLMService"]
 
+_NO_VERSION = ""  # default prompt-template version tag
+
 
 @dataclass(frozen=True)
 class CallRecord:
@@ -80,6 +93,7 @@ class CallRecord:
     latency_seconds: float
     retries: int = 0
     outcome: str = OUTCOME_SERVED
+    provenance: str = PROVENANCE_PROVIDER
 
     @property
     def succeeded(self) -> bool:
@@ -101,6 +115,9 @@ class UsageSummary:
     retries: int = 0
     fallback_calls: int = 0
     failed_calls: int = 0
+    near_hits: int = 0
+    distilled_calls: int = 0
+    cache_evictions: int = 0
 
     def to_text(self) -> str:
         """One-line human-readable rendering."""
@@ -110,6 +127,11 @@ class UsageSummary:
             f"{self.completion_tokens} cost=${self.cost:.4f} "
             f"latency={self.latency_seconds:.1f}s"
         )
+        if self.near_hits or self.distilled_calls or self.cache_evictions:
+            text += (
+                f" near_hits={self.near_hits} distilled={self.distilled_calls} "
+                f"evictions={self.cache_evictions}"
+            )
         if self.retries or self.fallback_calls or self.failed_calls:
             text += (
                 f" retries={self.retries} fallbacks={self.fallback_calls} "
@@ -145,6 +167,13 @@ class LLMService:
     ``max_retries``/``backoff_seconds`` are legacy shorthands; passing a
     :class:`ResiliencePolicy` via ``policy=`` supersedes them and unlocks
     deadlines, circuit breaking and fallback chains.
+
+    The cache is a :class:`repro.llm.cache.PromptCache`; pass one via
+    ``cache=`` (or just a journal location via ``cache_path=`` for a warm
+    persistent cache).  Keys are versioned — provider identity, the
+    caller-supplied prompt-template ``version``, the prompt and
+    ``max_tokens`` — so distinct skills or providers sharing a prompt
+    string can never collide.
     """
 
     def __init__(
@@ -157,6 +186,8 @@ class LLMService:
         backoff_seconds: float = 0.5,
         policy: ResiliencePolicy | None = None,
         clock: VirtualClock | None = None,
+        cache: PromptCache | None = None,
+        cache_path: str | Path | None = None,
     ):
         self.provider = provider or SimulatedProvider()
         self.cache_enabled = cache_enabled
@@ -167,12 +198,27 @@ class LLMService:
         )
         self.clock = clock or VirtualClock()
         self.records: list[CallRecord] = []
-        self._cache: dict[tuple[str, int], LLMResponse] = {}
+        if cache is None:
+            cache = PromptCache(path=cache_path)
+        elif cache_path is not None:
+            raise ValueError("pass cache= or cache_path=, not both")
+        self.cache = cache
         self._lock = threading.RLock()
         self._tls = threading.local()
-        self._inflight: dict[tuple[str, int], threading.Event] = {}
+        self._inflight: dict[CacheKey, threading.Event] = {}
+        # clear_cache() bumps the epoch; provider responses already in
+        # flight when it fired must not repopulate the fresh cache.
+        self._cache_epoch = 0
         self.coalesced_calls = 0
         self.breakers = self._build_breakers()
+
+    def _cache_key(self, prompt: str, max_tokens: int, version: str) -> CacheKey:
+        return CacheKey(
+            provider=self.provider.cache_identity(),
+            version=version,
+            prompt=prompt,
+            max_tokens=max_tokens,
+        )
 
     def _provider_chain(self) -> list[LLMProvider]:
         chain = [self.provider]
@@ -248,7 +294,13 @@ class LLMService:
 
     # -- core API --------------------------------------------------------------
 
-    def complete(self, prompt: str, purpose: str = "", max_tokens: int = 256) -> str:
+    def complete(
+        self,
+        prompt: str,
+        purpose: str = "",
+        max_tokens: int = 256,
+        version: str = _NO_VERSION,
+    ) -> str:
         """Answer ``prompt``; returns the response text.
 
         Raises :class:`BudgetExceededError` when the call would exceed the
@@ -257,26 +309,32 @@ class LLMService:
         retry is exhausted.  Failed calls are still recorded in the ledger
         with their resilience outcome.
 
-        Concurrent callers asking the identical ``(prompt, max_tokens)``
-        are **coalesced** (cache enabled only): one caller leads the
-        provider call, the rest wait and are answered as cache hits.  A
-        leader failure releases the followers, who then retry leadership
-        one at a time — so per-prompt provider attempts stay sequential and
-        deterministic even under heavy concurrency.
+        Concurrent callers asking the identical versioned key are
+        **coalesced** (cache enabled only): one caller leads, the rest wait
+        and are answered as cache hits.  The leader consults the
+        near-duplicate tier before paying for the provider; a near donor is
+        promoted into the exact tier so followers (and later calls) hit it
+        exactly.  A leader failure releases the followers, who then retry
+        leadership one at a time — so per-prompt provider attempts stay
+        sequential and deterministic even under heavy concurrency.
         """
-        cache_key = (prompt, max_tokens)
         if not self.cache_enabled:
-            return self._complete_uncached(prompt, purpose, max_tokens)
+            return self._complete_uncached(prompt, purpose, max_tokens, version)
+        cache_key = self._cache_key(prompt, max_tokens, version)
         while True:
             leader_gate: threading.Event | None = None
             with self._lock:
-                cached = self._cache.get(cache_key)
+                cached = self.cache.get(cache_key)
                 if cached is None:
                     leader_gate = self._inflight.get(cache_key)
                     if leader_gate is None:
                         self._inflight[cache_key] = threading.Event()
             if cached is not None:
-                self._record(self._cached_record(cached, prompt, purpose))
+                self._record(
+                    self._cached_record(
+                        cached, prompt, purpose, provenance=PROVENANCE_CACHE_EXACT
+                    )
+                )
                 return cached.text
             if leader_gate is None:
                 break  # this thread leads the provider call
@@ -286,7 +344,19 @@ class LLMService:
             # Re-check: the leader either cached a response (-> hit) or
             # failed (-> compete to become the next leader).
         try:
-            return self._complete_uncached(prompt, purpose, max_tokens)
+            with self._lock:
+                epoch = self._cache_epoch
+            near = self.cache.get_near(cache_key)
+            if near is not None:
+                response, _score = near
+                self._record(
+                    self._cached_record(
+                        response, prompt, purpose, provenance=PROVENANCE_CACHE_NEAR
+                    )
+                )
+                self._cache_put(cache_key, response, epoch)
+                return response.text
+            return self._complete_uncached(prompt, purpose, max_tokens, version)
         finally:
             with self._lock:
                 gate = self._inflight.pop(cache_key, None)
@@ -294,7 +364,11 @@ class LLMService:
                 gate.set()
 
     def _cached_record(
-        self, response: LLMResponse, prompt: str, purpose: str
+        self,
+        response: LLMResponse,
+        prompt: str,
+        purpose: str,
+        provenance: str = PROVENANCE_CACHE_EXACT,
     ) -> CallRecord:
         return CallRecord(
             prompt=prompt,
@@ -307,11 +381,29 @@ class LLMService:
             purpose=purpose,
             latency_seconds=0.0,
             outcome=OUTCOME_CACHED,
+            provenance=provenance,
         )
 
-    def _complete_uncached(self, prompt: str, purpose: str, max_tokens: int) -> str:
+    def _cache_put(self, key: CacheKey, response: LLMResponse, epoch: int) -> None:
+        """Insert unless :meth:`clear_cache` fired after this call started.
+
+        ``epoch`` is the value of ``_cache_epoch`` observed when the call
+        began; a mismatch means someone cleared the cache while the answer
+        was in flight, and inserting it would resurrect exactly what the
+        clear was meant to drop.
+        """
+        with self._lock:
+            if epoch != self._cache_epoch:
+                return
+            self.cache.put(key, response)
+
+    def _complete_uncached(
+        self, prompt: str, purpose: str, max_tokens: int, version: str = _NO_VERSION
+    ) -> str:
         """Provider path: budget check, resilient call, record, cache."""
         self._check_budget()
+        with self._lock:
+            epoch = self._cache_epoch
         request = LLMRequest(prompt=prompt, max_tokens=max_tokens)
         response, outcome, retries = self._complete_resilient(request, purpose)
         cost = estimate_cost(response.prompt_tokens, response.completion_tokens)
@@ -332,30 +424,39 @@ class LLMService:
             )
         )
         if self.cache_enabled:
-            with self._lock:
-                self._cache[(prompt, max_tokens)] = response
+            self._cache_put(
+                self._cache_key(prompt, max_tokens, version), response, epoch
+            )
         return response.text
 
     # -- batched provider path ----------------------------------------------------
 
     def prime(
-        self, prompts: Sequence[str], purpose: str = "", max_tokens: int = 256
+        self,
+        prompts: Sequence[str],
+        purpose: str = "",
+        max_tokens: int = 256,
+        version: str = _NO_VERSION,
     ) -> int:
         """Warm the cache for ``prompts`` via one batched provider call.
 
-        The distinct prompts that are neither cached nor already in flight
-        are submitted together through :meth:`LLMProvider.complete_batch`
+        The cache is consulted first — both tiers: prompts with an exact
+        entry or a sealed near-duplicate donor never enter the provider
+        batch (the chunk-prefetch path rides on this, so a warm run primes
+        nothing).  The remaining distinct not-in-flight prompts are
+        submitted together through :meth:`LLMProvider.complete_batch`
         (N prompts per call instead of N calls).  Best effort: a batch
         failure is swallowed so per-item calls can retry with the full
         resilience policy.  Returns the number of prompts served.
         """
         if not self.cache_enabled:
             return 0
-        batch: list[tuple[tuple[str, int], str]] = []
+        batch: list[tuple[CacheKey, str]] = []
         with self._lock:
+            epoch = self._cache_epoch
             for prompt in prompts:
-                key = (prompt, max_tokens)
-                if key in self._cache or key in self._inflight:
+                key = self._cache_key(prompt, max_tokens, version)
+                if key in self._inflight or self.cache.has_any(key):
                     continue
                 if any(k == key for k, _ in batch):
                     continue
@@ -398,8 +499,7 @@ class LLMService:
                             outcome=outcome,
                         )
                     )
-                    with self._lock:
-                        self._cache[key] = response
+                    self._cache_put(key, response, epoch)
                     served += 1
         finally:
             with self._lock:
@@ -434,7 +534,11 @@ class LLMService:
         return None
 
     def complete_many(
-        self, prompts: Sequence[str], purpose: str = "", max_tokens: int = 256
+        self,
+        prompts: Sequence[str],
+        purpose: str = "",
+        max_tokens: int = 256,
+        version: str = _NO_VERSION,
     ) -> list[str]:
         """Answer many prompts, batching the distinct uncached ones.
 
@@ -442,11 +546,39 @@ class LLMService:
         is first primed with one batched provider request; per-prompt
         semantics (ledger records, errors, resilience) are unchanged.
         """
-        self.prime(prompts, purpose=purpose, max_tokens=max_tokens)
+        self.prime(prompts, purpose=purpose, max_tokens=max_tokens, version=version)
         return [
-            self.complete(prompt, purpose=purpose, max_tokens=max_tokens)
+            self.complete(
+                prompt, purpose=purpose, max_tokens=max_tokens, version=version
+            )
             for prompt in prompts
         ]
+
+    def record_distilled(
+        self, prompt: str, text: str, purpose: str = "", skill: str = "distilled"
+    ) -> None:
+        """Ledger a zero-cost answer produced by a distilled local model.
+
+        The distillation router (:mod:`repro.core.optimizer.distill`) calls
+        this for every record it answers instead of the provider, so the
+        ledger stays a complete account of *every* answered prompt with
+        provenance ``distilled``.  Scope-aware like any other record.
+        """
+        self._record(
+            CallRecord(
+                prompt=prompt,
+                response_text=text,
+                prompt_tokens=count_tokens(prompt),
+                completion_tokens=count_tokens(text),
+                cost=0.0,
+                cached=True,
+                skill=skill,
+                purpose=purpose,
+                latency_seconds=0.0,
+                outcome=OUTCOME_CACHED,
+                provenance=PROVENANCE_DISTILLED,
+            )
+        )
 
     def _complete_resilient(
         self, request: LLMRequest, purpose: str
@@ -585,6 +717,16 @@ class LLMService:
         return sum(1 for r in self.records if not r.succeeded)
 
     @property
+    def near_hits(self) -> int:
+        """Calls answered by the near-duplicate cache tier."""
+        return sum(1 for r in self.records if r.provenance == PROVENANCE_CACHE_NEAR)
+
+    @property
+    def distilled_calls(self) -> int:
+        """Calls answered by a distilled local model."""
+        return sum(1 for r in self.records if r.provenance == PROVENANCE_DISTILLED)
+
+    @property
     def total_cost(self) -> float:
         """Accumulated dollar cost."""
         return sum(r.cost for r in self.records)
@@ -607,6 +749,13 @@ class LLMService:
             retries=sum(r.retries for r in records),
             fallback_calls=sum(1 for r in records if r.outcome == OUTCOME_FALLBACK),
             failed_calls=sum(1 for r in records if not r.succeeded),
+            near_hits=sum(
+                1 for r in records if r.provenance == PROVENANCE_CACHE_NEAR
+            ),
+            distilled_calls=sum(
+                1 for r in records if r.provenance == PROVENANCE_DISTILLED
+            ),
+            cache_evictions=self.cache.stats.evictions,
         )
 
     def ledger_table(self):
@@ -624,6 +773,7 @@ class LLMService:
                     "purpose": r.purpose,
                     "skill": r.skill,
                     "cached": r.cached,
+                    "provenance": r.provenance,
                     "outcome": r.outcome,
                     "prompt_tokens": r.prompt_tokens,
                     "completion_tokens": r.completion_tokens,
@@ -642,6 +792,13 @@ class LLMService:
             self.clock.reset()
 
     def clear_cache(self) -> None:
-        """Drop all cached responses."""
+        """Drop all cached responses (both tiers, and the journal contents).
+
+        Bumps the cache epoch so provider answers already in flight when
+        the clear fired do not repopulate the fresh cache — a ``complete``
+        after ``clear_cache`` always re-asks the provider, even when the
+        clear raced an in-flight call for the same prompt.
+        """
         with self._lock:
-            self._cache.clear()
+            self._cache_epoch += 1
+            self.cache.clear()

@@ -3,18 +3,33 @@
 The paper's Table 1 datasets are pre-paired, but a real ER deployment (two
 raw tables, no pairs) needs a *blocking* stage first: cheaply pick the
 record pairs worth sending to the (expensive) matcher.  This module
-implements the standard TF-IDF token-blocking scheme: records sharing
+implements the standard TF-IDF token-blocking scheme — records sharing
 high-weight tokens in a key attribute become candidates, ranked by weighted
-overlap, with a per-record cap.
+overlap, with a per-record cap — backed by an inverted token index so the
+scan is proportional to candidates, never to the |left|×|right| cross
+product.
+
+Token blocking has a known blind spot: a typo inside every shared token
+(``"sierr nevada"`` vs ``"sierra nevada"``) leaves zero index overlap, and
+the record silently loses all candidates.  Left records that come up empty
+therefore fall back to a **sorted neighborhood** pass: the right side's key
+texts are sorted once, the left text is binary-searched into that order,
+and the few lexicographic neighbours on either side are screened with the
+*banded* Levenshtein distance (:func:`repro.text.similarity
+.levenshtein_distance` with ``max_distance``), which answers "within d
+edits?" in O(n·d) and exits early otherwise.  Only neighbours clearing
+``fallback_similarity`` become candidates — disjoint vocabularies still
+produce nothing.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import defaultdict
 from dataclasses import dataclass
 
 from repro.text.normalize import normalize_text
-from repro.text.similarity import TfIdfModel
+from repro.text.similarity import TfIdfModel, levenshtein_distance
 
 __all__ = ["BlockingResult", "block_records"]
 
@@ -35,18 +50,57 @@ class BlockingResult:
         )
 
 
+def _neighborhood_candidates(
+    text: str,
+    sorted_right: list[tuple[str, int]],
+    window: int,
+    fallback_similarity: float,
+) -> tuple[list[tuple[int, float]], int]:
+    """Sorted-neighborhood rescue for a left record with no token overlap.
+
+    Returns ``(candidates, examined)`` where candidates are
+    ``(right_index, similarity)`` pairs clearing ``fallback_similarity``.
+    """
+    if not text or not sorted_right:
+        return [], 0
+    position = bisect_left(sorted_right, (text, -1))
+    lo = max(0, position - window)
+    hi = min(len(sorted_right), position + window)
+    found: list[tuple[int, float]] = []
+    examined = 0
+    for neighbor_text, j in sorted_right[lo:hi]:
+        examined += 1
+        if not neighbor_text:
+            continue
+        longest = max(len(text), len(neighbor_text))
+        # "similarity >= bar" == "distance <= (1 - bar) * longest"; the
+        # banded computation only ever fills that diagonal.
+        budget = int((1.0 - fallback_similarity) * longest)
+        distance = levenshtein_distance(text, neighbor_text, max_distance=budget)
+        if distance <= budget:
+            found.append((j, 1.0 - distance / longest))
+    return found, examined
+
+
 def block_records(
     left: list[dict],
     right: list[dict],
     key: str,
     max_candidates_per_record: int = 5,
     min_shared_tokens: int = 1,
+    neighborhood_window: int = 3,
+    fallback_similarity: float = 0.55,
 ) -> BlockingResult:
     """TF-IDF token blocking between two record collections.
 
     For every left record, the ``max_candidates_per_record`` right records
     with the highest shared-token TF-IDF weight become candidate pairs.
-    Records sharing fewer than ``min_shared_tokens`` tokens are never paired.
+    Records sharing fewer than ``min_shared_tokens`` tokens are never paired
+    by the index; left records the index leaves *empty* get one
+    sorted-neighborhood pass over the ``neighborhood_window`` nearest right
+    keys in lexicographic order, admitted only above
+    ``fallback_similarity`` edit similarity (banded Levenshtein).  Set
+    ``neighborhood_window=0`` to disable the fallback.
     """
     if not left or not right:
         return BlockingResult([], 0, 1.0)
@@ -63,6 +117,7 @@ def block_records(
     for j, text in enumerate(right_texts):
         for token in set(text.split()):
             index[token].append(j)
+    sorted_right = sorted((text, j) for j, text in enumerate(right_texts))
 
     pairs: list[tuple[int, int]] = []
     considered = 0
@@ -77,6 +132,13 @@ def block_records(
         considered += len(scores)
         eligible = [j for j in scores if shared[j] >= min_shared_tokens]
         eligible.sort(key=lambda j: (-scores[j], j))
+        if not eligible and neighborhood_window > 0:
+            rescued, examined = _neighborhood_candidates(
+                text, sorted_right, neighborhood_window, fallback_similarity
+            )
+            considered += examined
+            rescued.sort(key=lambda item: (-item[1], item[0]))
+            eligible = [j for j, _ in rescued]
         for j in eligible[:max_candidates_per_record]:
             pairs.append((i, j))
 

@@ -19,13 +19,21 @@ __all__ = ["ERResult", "pick_examples", "run_lingua_manga_er", "pairs_as_inputs"
 
 @dataclass(frozen=True)
 class ERResult:
-    """Outcome of one entity-resolution run."""
+    """Outcome of one entity-resolution run.
+
+    ``cached_calls``/``near_hits``/``distilled_calls`` break down how many
+    answers were produced without paying the provider (exact cache hits,
+    near-duplicate cache hits, and distilled local-model answers).
+    """
 
     dataset: str
     f1: float
     predictions: list[int]
     llm_calls: int
     cost: float
+    cached_calls: int = 0
+    near_hits: int = 0
+    distilled_calls: int = 0
 
 
 def pick_examples(pairs: list[RecordPair], k: int = 4) -> list[tuple[tuple, bool]]:
@@ -54,14 +62,21 @@ def run_lingua_manga_er(
     dataset: ERDataset,
     n_examples: int = 4,
     workers: int | None = None,
+    distill: bool = False,
+    distill_config: dict | None = None,
 ) -> ERResult:
     """Instantiate the ER template, run it on the test split, score F1.
 
     ``workers`` routes execution through the concurrent scheduler; results
     are identical at any worker count (see the determinism test suite).
+    ``distill=True`` attaches the optimizer's distillation router to the
+    matcher so high-confidence pairs are answered by a shadow-trained
+    local classifier instead of the provider.
     """
     examples = pick_examples(dataset.train, n_examples)
-    pipeline = get_template("entity_resolution").instantiate(examples=examples)
+    pipeline = get_template("entity_resolution").instantiate(
+        examples=examples, distill=distill, distill_config=distill_config
+    )
     before = system.usage()
     report = system.run(
         pipeline, {"pairs": pairs_as_inputs(dataset.test)}, workers=workers
@@ -75,4 +90,7 @@ def run_lingua_manga_er(
         predictions=predictions,
         llm_calls=after.served_calls - before.served_calls,
         cost=after.cost - before.cost,
+        cached_calls=after.cached_calls - before.cached_calls,
+        near_hits=after.near_hits - before.near_hits,
+        distilled_calls=after.distilled_calls - before.distilled_calls,
     )

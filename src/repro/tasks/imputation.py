@@ -31,6 +31,9 @@ class ImputationResult:
     predictions: list[str]
     llm_calls: int
     cost: float
+    cached_calls: int = 0
+    near_hits: int = 0
+    distilled_calls: int = 0
 
 
 def _score(
@@ -38,8 +41,8 @@ def _score(
     system: LinguaManga,
     records: list[ImputationRecord],
     raw_predictions: list,
-    calls: int,
-    cost: float,
+    before,
+    after,
 ) -> ImputationResult:
     predictions = [
         "Unknown" if p is None else str(p).strip() for p in raw_predictions
@@ -48,8 +51,11 @@ def _score(
         method=method,
         accuracy=accuracy([r.manufacturer for r in records], predictions),
         predictions=predictions,
-        llm_calls=calls,
-        cost=cost,
+        llm_calls=after.served_calls - before.served_calls,
+        cost=after.cost - before.cost,
+        cached_calls=after.cached_calls - before.cached_calls,
+        near_hits=after.near_hits - before.near_hits,
+        distilled_calls=after.distilled_calls - before.distilled_calls,
     )
 
 
@@ -76,8 +82,8 @@ def run_llm_imputation(
         system,
         records,
         next(iter(report.outputs.values())),
-        after.served_calls - before.served_calls,
-        after.cost - before.cost,
+        before,
+        after,
     )
 
 
@@ -103,6 +109,6 @@ def run_hybrid_imputation(
         system,
         records,
         next(iter(report.outputs.values())),
-        after.served_calls - before.served_calls,
-        after.cost - before.cost,
+        before,
+        after,
     )

@@ -28,6 +28,9 @@ class NameExtractionResult:
     llm_calls: int
     cost: float
     per_language_f1: dict[str, float]
+    cached_calls: int = 0
+    near_hits: int = 0
+    distilled_calls: int = 0
 
 
 def score_extractions(
@@ -97,4 +100,7 @@ def run_name_extraction(
         llm_calls=after.served_calls - before.served_calls,
         cost=after.cost - before.cost,
         per_language_f1=per_language,
+        cached_calls=after.cached_calls - before.cached_calls,
+        near_hits=after.near_hits - before.near_hits,
+        distilled_calls=after.distilled_calls - before.distilled_calls,
     )

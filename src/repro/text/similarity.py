@@ -16,6 +16,7 @@ from repro.text.tokenize import char_ngrams, word_tokenize
 
 __all__ = [
     "levenshtein_distance",
+    "levenshtein_within",
     "levenshtein_similarity",
     "jaro_similarity",
     "jaro_winkler_similarity",
@@ -30,16 +31,53 @@ __all__ = [
 ]
 
 
-def levenshtein_distance(a: str, b: str) -> int:
-    """Classic edit distance (insert/delete/substitute, all cost 1)."""
+def levenshtein_distance(a: str, b: str, max_distance: int | None = None) -> int:
+    """Classic edit distance (insert/delete/substitute, all cost 1).
+
+    With ``max_distance`` the computation runs *banded*: only the diagonal
+    band of width ``2·max_distance + 1`` is filled, which is O(n·d) instead
+    of O(n·m), and the scan exits early the moment every cell in a row
+    exceeds the bound.  When the true distance is larger than
+    ``max_distance`` the return value is ``max_distance + 1`` (a sentinel,
+    not the exact distance) — callers asking "are these within d edits?"
+    get their answer without paying for the full matrix.
+    """
     if a == b:
         return 0
     if not a:
-        return len(b)
+        return len(b) if max_distance is None else min(len(b), max_distance + 1)
     if not b:
-        return len(a)
+        return len(a) if max_distance is None else min(len(a), max_distance + 1)
     if len(a) < len(b):
         a, b = b, a
+    if max_distance is not None:
+        if max_distance < 0:
+            raise ValueError("max_distance must be non-negative")
+        cutoff = max_distance + 1
+        # Lengths differing by more than the bound cannot be within it.
+        if len(a) - len(b) > max_distance:
+            return cutoff
+        infinity = cutoff + 1
+        previous = [j if j <= max_distance else infinity for j in range(len(b) + 1)]
+        for i, ca in enumerate(a, start=1):
+            lo = max(1, i - max_distance)
+            hi = min(len(b), i + max_distance)
+            current = [infinity] * (len(b) + 1)
+            if lo == 1:
+                current[0] = i if i <= max_distance else infinity
+            best = current[0] if lo == 1 else infinity
+            for j in range(lo, hi + 1):
+                cost = 0 if ca == b[j - 1] else 1
+                value = min(
+                    previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost
+                )
+                current[j] = value
+                if value < best:
+                    best = value
+            if best > max_distance:
+                return cutoff  # early exit: the whole band exceeded the bound
+            previous = current
+        return previous[-1] if previous[-1] <= max_distance else cutoff
     previous = list(range(len(b) + 1))
     for i, ca in enumerate(a, start=1):
         current = [i]
@@ -48,6 +86,11 @@ def levenshtein_distance(a: str, b: str) -> int:
             current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
         previous = current
     return previous[-1]
+
+
+def levenshtein_within(a: str, b: str, max_distance: int) -> bool:
+    """Whether ``a`` and ``b`` are within ``max_distance`` edits (banded)."""
+    return levenshtein_distance(a, b, max_distance=max_distance) <= max_distance
 
 
 def levenshtein_similarity(a: str, b: str) -> float:

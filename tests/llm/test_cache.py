@@ -1,0 +1,254 @@
+"""The multi-tier prompt cache: keys, LRU, journal, near-duplicate tier."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.llm.cache import CacheJournal, CacheKey, NearDuplicateIndex, PromptCache
+from repro.llm.providers import LLMResponse, SimulatedProvider
+from repro.llm.service import LLMService
+
+
+def key(prompt: str, version: str = "", provider: str = "sim", max_tokens: int = 64):
+    return CacheKey(provider=provider, version=version, prompt=prompt, max_tokens=max_tokens)
+
+
+def response(text: str) -> LLMResponse:
+    return LLMResponse(text=text, prompt_tokens=3, completion_tokens=2, model="sim")
+
+
+class TestCacheKey:
+    def test_same_prompt_different_version_does_not_collide(self):
+        cache = PromptCache()
+        cache.put(key("p", version="v1"), response("one"))
+        assert cache.get(key("p", version="v2")) is None
+        assert cache.get(key("p", version="v1")).text == "one"
+
+    def test_same_prompt_different_provider_does_not_collide(self):
+        cache = PromptCache()
+        cache.put(key("p", provider="a"), response("one"))
+        assert cache.get(key("p", provider="b")) is None
+
+    def test_same_prompt_different_max_tokens_does_not_collide(self):
+        cache = PromptCache()
+        cache.put(key("p", max_tokens=8), response("short"))
+        assert cache.get(key("p", max_tokens=256)) is None
+
+
+class TestLRUEviction:
+    def test_oldest_entry_evicted_first(self):
+        cache = PromptCache(max_entries=3)
+        for name in ("a", "b", "c"):
+            cache.put(key(name), response(name))
+        cache.put(key("d"), response("d"))
+        assert cache.get(key("a")) is None
+        assert cache.get(key("b")).text == "b"
+        assert cache.stats.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = PromptCache(max_entries=3)
+        for name in ("a", "b", "c"):
+            cache.put(key(name), response(name))
+        cache.get(key("a"))  # now "b" is the LRU entry
+        cache.put(key("d"), response("d"))
+        assert cache.get(key("a")).text == "a"
+        assert cache.get(key("b")) is None
+
+    def test_reput_refreshes_recency(self):
+        cache = PromptCache(max_entries=2)
+        cache.put(key("a"), response("a"))
+        cache.put(key("b"), response("b"))
+        cache.put(key("a"), response("a2"))  # refresh, not duplicate
+        cache.put(key("c"), response("c"))
+        assert cache.get(key("b")) is None
+        assert cache.get(key("a")).text == "a2"
+
+    def test_hit_miss_counters(self):
+        cache = PromptCache()
+        cache.put(key("a"), response("a"))
+        cache.get(key("a"))
+        cache.get(key("missing"))
+        assert cache.stats.exact_hits == 1
+        assert cache.stats.misses == 1
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = PromptCache(path=path)
+        cache.put(key("p1", version="v1"), response("one"))
+        cache.put(key("p2"), response("two"))
+
+        reloaded = PromptCache(path=path)
+        assert reloaded.stats.loaded == 2
+        assert reloaded.get(key("p1", version="v1")).text == "one"
+        assert reloaded.get(key("p2")).text == "two"
+
+    def test_later_lines_win(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = PromptCache(path=path)
+        cache.put(key("p"), response("old"))
+        cache.put(key("p"), response("new"))
+        assert PromptCache(path=path).get(key("p")).text == "new"
+
+    def test_truncated_line_is_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = PromptCache(path=path)
+        cache.put(key("good"), response("kept"))
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"provider": "sim", "version": "", "prom')  # crash mid-append
+
+        reloaded = PromptCache(path=path)
+        assert reloaded.get(key("good")).text == "kept"
+        assert reloaded.journal.corrupt_lines == 1
+
+    def test_wrong_shape_line_is_skipped(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        path.write_text(json.dumps({"not": "a cache entry"}) + "\n", encoding="utf-8")
+        reloaded = PromptCache(path=path)
+        assert len(reloaded) == 0
+        assert reloaded.journal.corrupt_lines == 1
+
+    def test_compaction_drops_dead_lines(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = PromptCache(path=path)
+        for round_ in range(5):
+            cache.put(key("p"), response(f"v{round_}"))  # 5 lines, 1 live entry
+        assert cache.compact() == 1
+        assert len(path.read_text(encoding="utf-8").strip().splitlines()) == 1
+        assert PromptCache(path=path).get(key("p")).text == "v4"
+
+    def test_auto_compaction_bounds_journal_growth(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = PromptCache(path=path, compact_factor=2)
+        for i in range(300):  # one live key, 300 appends
+            cache.put(key("p"), response(f"v{i}"))
+        lines = len(path.read_text(encoding="utf-8").strip().splitlines())
+        assert lines < 300  # compaction kicked in at least once
+
+    def test_journal_load_respects_max_entries(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = PromptCache(path=path)
+        for name in ("a", "b", "c", "d"):
+            cache.put(key(name), response(name))
+        trimmed = PromptCache(path=path, max_entries=2)
+        assert len(trimmed) == 2
+        assert trimmed.get(key("d")).text == "d"  # most recent survive
+        assert trimmed.get(key("a")) is None
+
+
+class TestNearDuplicateIndex:
+    def donor_key(self):
+        return key("Match the records: Sierra Nevada Pale Ale vs Sierra Nevada Pale Ale.")
+
+    def test_canonically_equal_prompt_hits(self):
+        index = NearDuplicateIndex(threshold=0.92)
+        index.build([(self.donor_key(), response("yes"))])
+        probe = key("match  the records:  sierra nevada pale ale VS sierra nevada pale ale.")
+        found = index.lookup(probe)
+        assert found is not None
+        assert found[0].text == "yes"
+        assert found[1] == 1.0
+
+    def test_near_identical_prompt_hits_below_threshold_misses(self):
+        index = NearDuplicateIndex(threshold=0.92)
+        index.build([(self.donor_key(), response("yes"))])
+        near = key("Match the records: Sierra Nevada Pale Ales vs Sierra Nevada Pale Ale.")
+        assert index.lookup(near) is not None
+        far = key("Summarise the quarterly revenue table for the board meeting.")
+        assert index.lookup(far) is None
+
+    def test_hits_never_cross_version_or_provider_scope(self):
+        index = NearDuplicateIndex(threshold=0.92)
+        index.build([(self.donor_key(), response("yes"))])
+        assert index.lookup(key(self.donor_key().prompt, version="v2")) is None
+        assert index.lookup(key(self.donor_key().prompt, provider="other")) is None
+        assert index.lookup(key(self.donor_key().prompt, max_tokens=999)) is None
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            NearDuplicateIndex(threshold=0.0)
+
+    def test_snapshot_is_sealed_against_midrun_puts(self):
+        cache = PromptCache()
+        cache.put(self.donor_key(), response("yes"))
+        # Not sealed yet: tier 2 cannot see the entry...
+        assert cache.get_near(self.donor_key()) is None
+        # ...until a seal() snapshots it.
+        cache.seal()
+        found = cache.get_near(self.donor_key())
+        assert found is not None and found[0].text == "yes"
+        assert cache.stats.near_hits == 1
+
+    def test_near_tier_can_be_disabled(self):
+        cache = PromptCache(near_enabled=False)
+        cache.put(self.donor_key(), response("yes"))
+        cache.seal()
+        assert cache.get_near(self.donor_key()) is None
+
+    def test_has_any_covers_both_tiers(self):
+        cache = PromptCache()
+        cache.put(self.donor_key(), response("yes"))
+        cache.seal()
+        probe = key("match  the records:  sierra nevada pale ale VS sierra nevada pale ale.")
+        assert cache.has_any(self.donor_key())  # exact
+        assert cache.has_any(probe)  # near
+        assert not cache.has_any(key("completely unrelated prompt"))
+
+
+class TestJournalDirect:
+    def test_append_then_load(self, tmp_path):
+        journal = CacheJournal(tmp_path / "j.jsonl")
+        journal.append(key("p"), response("one"))
+        entries = journal.load()
+        assert len(entries) == 1
+        assert entries[0][0] == key("p")
+        assert entries[0][1].text == "one"
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert CacheJournal(tmp_path / "absent.jsonl").load() == []
+
+    def test_compact_is_atomic_replacement(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CacheJournal(path)
+        journal.append(key("a"), response("a"))
+        journal.append(key("b"), response("b"))
+        written = journal.compact([(key("b"), response("b"))])
+        assert written == 1
+        assert journal.lines_appended == 0
+        assert [k for k, _ in journal.load()] == [key("b")]
+
+
+class TestServiceCacheLifecycle:
+    def test_clear_cache_bumps_epoch_and_empties_cache(self):
+        service = LLMService(SimulatedProvider())
+        service.complete("Extract all person names from: John met Mary.")
+        assert len(service.cache) == 1
+        epoch = service._cache_epoch
+        service.clear_cache()
+        assert service._cache_epoch == epoch + 1
+        assert len(service.cache) == 0
+
+    def test_stale_epoch_put_is_dropped(self):
+        """An in-flight call that started before clear_cache() must not
+        resurrect its answer into the cleared cache."""
+        service = LLMService(SimulatedProvider())
+        stale_epoch = service._cache_epoch
+        service.clear_cache()
+        service._cache_put(
+            service._cache_key("p", 64, ""), response("stale"), stale_epoch
+        )
+        assert len(service.cache) == 0
+        service._cache_put(
+            service._cache_key("p", 64, ""), response("fresh"), service._cache_epoch
+        )
+        assert len(service.cache) == 1
+
+    def test_reset_usage_keeps_cache(self):
+        service = LLMService(SimulatedProvider())
+        service.complete("Extract all person names from: John met Mary.")
+        service.reset_usage()
+        assert len(service.cache) == 1
+        assert service.usage().total_calls == 0

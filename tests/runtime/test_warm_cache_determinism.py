@@ -1,0 +1,65 @@
+"""Determinism of warm runs over the persistent prompt cache.
+
+PR 2's contract — same seed ⇒ byte-identical canonical run reports at any
+worker count — must survive the cache subsystem: a *warm* run (every
+answer served from the journal) has to be byte-identical at workers 1, 2
+and 8, and may differ from the cold run only in the declared cost and
+provenance fields, never in outputs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.runtime.system import LinguaManga
+from repro.core.templates.library import get_template
+from repro.datasets.entity_resolution import generate_er_dataset
+from repro.tasks.entity_resolution import pairs_as_inputs, pick_examples
+
+WORKER_COUNTS = (1, 2, 8)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_er_dataset("beer", seed=7, n_entities=60)
+
+
+def _run(dataset, journal, workers: int | None) -> str:
+    system = LinguaManga(cache_path=str(journal))
+    pipeline = get_template("entity_resolution").instantiate(
+        examples=pick_examples(dataset.train, 4)
+    )
+    report = system.run(
+        pipeline, {"pairs": pairs_as_inputs(dataset.test)}, workers=workers
+    )
+    return report.canonical_json()
+
+
+@pytest.fixture(scope="module")
+def runs(dataset, tmp_path_factory) -> dict:
+    journal = tmp_path_factory.mktemp("warm") / "cache.jsonl"
+    cold = _run(dataset, journal, workers=1)
+    warm = {workers: _run(dataset, journal, workers) for workers in WORKER_COUNTS}
+    return {"cold": cold, "warm": warm}
+
+
+class TestWarmCacheDeterminism:
+    def test_warm_runs_byte_identical_across_worker_counts(self, runs):
+        reports = [runs["warm"][workers] for workers in WORKER_COUNTS]
+        assert reports[0] == reports[1] == reports[2]
+
+    def test_warm_differs_from_cold_only_in_cost_fields(self, runs):
+        cold = json.loads(runs["cold"])
+        warm = json.loads(runs["warm"][1])
+        cold_cost, warm_cost = cold.pop("cost"), warm.pop("cost")
+        assert cold == warm  # outputs, quarantine, module stats: identical
+        assert warm_cost["served_calls"] == 0
+        assert warm_cost["cost"] == 0.0
+        assert warm_cost["cached_calls"] > cold_cost["served_calls"] * 0.5
+
+    def test_warm_repeat_is_byte_identical(self, dataset, tmp_path):
+        journal = tmp_path / "cache.jsonl"
+        _run(dataset, journal, workers=2)  # cold seeding run
+        assert _run(dataset, journal, workers=2) == _run(dataset, journal, workers=8)

@@ -56,6 +56,45 @@ class TestBlocking:
         assert "candidate pairs" in block_records(left, right, key="beer_name").summary()
 
 
+class TestSortedNeighborhoodFallback:
+    """Left records with zero token overlap get one edit-gated rescue pass."""
+
+    def test_typo_in_every_token_is_rescued(self):
+        left = [{"k": "sierr nevda pal alee"}]  # no token matches exactly
+        right = [{"k": "sierra nevada pale ale"}, {"k": "gamma delta epsilon"}]
+        result = block_records(left, right, key="k")
+        assert result.pairs == [(0, 0)]
+
+    def test_fallback_never_bridges_disjoint_vocabularies(self):
+        # Lexicographic neighbours, but far beyond the edit-similarity gate.
+        left = [{"k": "alpha beta"}]
+        right = [{"k": "gamma delta"}, {"k": "almost anything"}]
+        assert block_records(left, right, key="k").pairs == []
+
+    def test_fallback_can_be_disabled(self):
+        left = [{"k": "sierr nevda pal alee"}]
+        right = [{"k": "sierra nevada pale ale"}]
+        result = block_records(left, right, key="k", neighborhood_window=0)
+        assert result.pairs == []
+
+    def test_token_overlap_records_never_take_the_fallback(self):
+        # The fallback only fires on empty candidate sets, so disabling it
+        # must not change results for records the index already covers.
+        left = [{"k": "stone ipa"}, {"k": "lucky otter pilsner"}]
+        right = [{"k": "stone ipa beer"}, {"k": "lucky otter pilsner ale"}]
+        with_fallback = block_records(left, right, key="k")
+        index_only = block_records(left, right, key="k", neighborhood_window=0)
+        assert with_fallback.pairs == index_only.pairs
+
+    def test_fallback_respects_candidate_cap(self):
+        left = [{"k": "stone ipa"}]
+        right = [{"k": f"stone ipa{suffix}"} for suffix in ("", "s", "x")]
+        result = block_records(left, right, key="k", max_candidates_per_record=1)
+        # "stone ipa" shares tokens with right[0] only; cap still holds if
+        # more than one neighbour clears the gate.
+        assert len(result.pairs) <= 1
+
+
 class TestDiscovery:
     @pytest.fixture()
     def db(self) -> Database:

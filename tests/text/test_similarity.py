@@ -15,6 +15,7 @@ from repro.text.similarity import (
     jaro_winkler_similarity,
     levenshtein_distance,
     levenshtein_similarity,
+    levenshtein_within,
     monge_elkan_similarity,
     numeric_similarity,
     overlap_coefficient,
@@ -47,6 +48,35 @@ class TestLevenshtein:
         assert levenshtein_distance(a, c) <= (
             levenshtein_distance(a, b) + levenshtein_distance(b, c)
         )
+
+
+class TestBandedLevenshtein:
+    @given(WORDS, WORDS)
+    def test_band_is_exact_when_distance_fits(self, a: str, b: str):
+        true_distance = levenshtein_distance(a, b)
+        assert levenshtein_distance(a, b, max_distance=true_distance) == true_distance
+        assert levenshtein_distance(a, b, max_distance=true_distance + 3) == true_distance
+
+    @given(WORDS, WORDS)
+    def test_exceeding_band_returns_sentinel(self, a: str, b: str):
+        true_distance = levenshtein_distance(a, b)
+        for budget in range(true_distance):
+            assert levenshtein_distance(a, b, max_distance=budget) == budget + 1
+
+    def test_length_gap_short_circuits(self):
+        # |len(a) - len(b)| alone already exceeds the budget.
+        assert levenshtein_distance("ab", "abcdefgh", max_distance=3) == 4
+
+    def test_zero_budget_is_equality_check(self):
+        assert levenshtein_distance("same", "same", max_distance=0) == 0
+        assert levenshtein_distance("same", "sane", max_distance=0) == 1
+
+    @given(WORDS, WORDS)
+    def test_within_agrees_with_distance(self, a: str, b: str):
+        true_distance = levenshtein_distance(a, b)
+        assert levenshtein_within(a, b, true_distance)
+        if true_distance > 0:
+            assert not levenshtein_within(a, b, true_distance - 1)
 
 
 class TestJaro:
