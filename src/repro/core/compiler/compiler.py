@@ -71,11 +71,14 @@ class LinguaMangaCompiler:
         if optimize:
             pipeline, self.last_rewrite = rewrite_pipeline(pipeline)
         bound: list[BoundOperator] = []
+        obs = getattr(self.context.service, "obs", None)
         for operator in pipeline.topological_order():
             module = build_module(operator, self.context)
             module = self._apply_validator(operator, module)
             module = self._apply_simulator(operator, module)
             module = self._apply_distill(operator, module)
+            if obs is not None:
+                _attach_obs(module, obs)
             bound.append(BoundOperator(operator=operator, module=module))
         return PhysicalPlan(pipeline=pipeline, bound=bound, context=self.context)
 
@@ -161,6 +164,26 @@ class LinguaMangaCompiler:
             module.stage = wrap(module.stage)
             return module
         return wrap(module)
+
+
+#: Attribute names under which wrapper modules expose wrapped children
+#: (mirrors the scheduler's traversal, plus list-valued containers).
+_CHILD_ATTRIBUTES = ("inner", "stage", "fallback", "teacher", "primary", "wrapper")
+
+
+def _attach_obs(module: Module, obs) -> None:
+    """Point a module tree at the system's observability hub."""
+    module.obs = obs
+    for attribute in _CHILD_ATTRIBUTES:
+        child = getattr(module, attribute, None)
+        if isinstance(child, Module):
+            _attach_obs(child, obs)
+    for attribute in ("stages", "variants"):
+        children = getattr(module, attribute, None)
+        if isinstance(children, (list, tuple)):
+            for child in children:
+                if isinstance(child, Module):
+                    _attach_obs(child, obs)
 
 
 def compile_pipeline(

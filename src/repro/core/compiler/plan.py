@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 import re
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -29,7 +30,7 @@ from repro.core.dsl.operators import LogicalOperator
 from repro.core.dsl.pipeline import Pipeline
 from repro.core.modules.base import Module, QuarantinedRecord
 from repro.core.optimizer.cost import CostSnapshot, CostTracker
-from repro.resilience.policy import OUTCOME_FALLBACK
+from repro.obs.profile import RunProfile, profile_records
 
 __all__ = ["BoundOperator", "OperatorResilience", "RunReport", "PhysicalPlan"]
 
@@ -91,6 +92,7 @@ class RunReport:
     partial: bool = False
     quarantine: list[QuarantinedRecord] = field(default_factory=list)
     resilience: dict[str, OperatorResilience] = field(default_factory=dict)
+    profile: RunProfile | None = None
 
     def to_text(self) -> str:
         """Readable execution summary."""
@@ -104,6 +106,10 @@ class RunReport:
                 lines.append(f"  {name} resilience: {counters.to_text()}")
         if self.cost is not None:
             lines.append(f"  llm: {self.cost.to_text()}")
+        if self.profile is not None and self.profile.rows:
+            lines.append("  profile:")
+            for row_line in self.profile.to_table().splitlines():
+                lines.append(f"    {row_line}")
         return "\n".join(lines)
 
     def canonical_dict(self) -> dict[str, Any]:
@@ -155,6 +161,9 @@ class RunReport:
                 "near_hits": self.cost.near_hits,
                 "distilled_calls": self.cost.distilled_calls,
             },
+            # Derived from canonicalized ledger slices, so deterministic at
+            # any worker count — safe inside the determinism contract.
+            "profile": None if self.profile is None else self.profile.to_dict(),
         }
 
     def canonical_json(self) -> str:
@@ -219,7 +228,15 @@ class PhysicalPlan:
         values: dict[str, Any] = {}
         report = RunReport(pipeline_name=self.pipeline.name)
         service = self.context.service
-        with CostTracker(service) as tracker:
+        obs = getattr(service, "obs", None)
+        tracer = obs.tracer if obs is not None and obs.tracer.enabled else None
+        profile = RunProfile()
+        run_span = (
+            tracer.span(self.pipeline.name, "run", clock=service.clock)
+            if tracer is not None
+            else nullcontext()
+        )
+        with CostTracker(service) as tracker, run_span:
             for binding in self.bound:
                 operator = binding.operator
                 if not operator.inputs:
@@ -230,27 +247,64 @@ class PhysicalPlan:
                     argument = tuple(values[name] for name in operator.inputs)
                 ledger_mark = len(service.records)
                 degraded_before = _tree_degraded(binding.module)
-                if scheduler is not None:
-                    values[operator.name] = scheduler.run_operator(
-                        binding.module, argument, service
+                module_start = service.clock.now
+                phase_span = (
+                    tracer.span(
+                        operator.name,
+                        "phase",
+                        clock=service.clock,
+                        operator_kind=operator.kind,
                     )
-                else:
-                    values[operator.name] = binding.module.run(argument)
-                drained = binding.module.drain_quarantine()
-                report.quarantine.extend(drained)
-                counters = OperatorResilience(
-                    quarantined=len(drained),
-                    degraded=_tree_degraded(binding.module) - degraded_before,
+                    if tracer is not None
+                    else nullcontext()
                 )
-                for record in service.records[ledger_mark:]:
-                    counters.llm_retries += record.retries
-                    if record.outcome == OUTCOME_FALLBACK:
-                        counters.llm_fallbacks += 1
-                    if not record.succeeded:
-                        counters.llm_failures += 1
-                report.resilience[operator.name] = counters
+                with phase_span:
+                    module_span = (
+                        tracer.span(
+                            binding.module.name,
+                            "module",
+                            clock=service.clock,
+                            module_type=type(binding.module).__name__,
+                        )
+                        if tracer is not None
+                        else nullcontext()
+                    )
+                    with module_span as span:
+                        if scheduler is not None:
+                            values[operator.name] = scheduler.run_operator(
+                                binding.module, argument, service
+                            )
+                        else:
+                            values[operator.name] = binding.module.run(argument)
+                        drained = binding.module.drain_quarantine()
+                        degraded = (
+                            _tree_degraded(binding.module) - degraded_before
+                        )
+                        # The slice is canonical here (the scheduler merged
+                        # and canonicalized; the sequential path is ordered
+                        # by construction), so spans and profile rows are
+                        # deterministic at any worker count.
+                        slice_ = service.records[ledger_mark:]
+                        if tracer is not None:
+                            span.set("quarantined", len(drained))
+                            span.set("degraded", degraded)
+                    if tracer is not None:
+                        _add_call_spans(span, slice_, module_start)
+                report.quarantine.extend(drained)
+                row = profile_records(
+                    operator.name, slice_, quarantined=len(drained)
+                )
+                profile.rows.append(row)
+                report.resilience[operator.name] = OperatorResilience(
+                    quarantined=len(drained),
+                    degraded=degraded,
+                    llm_retries=row.retries,
+                    llm_fallbacks=row.fallbacks,
+                    llm_failures=row.failures,
+                )
         report.partial = bool(report.quarantine)
         report.cost = tracker.snapshot
+        report.profile = profile
         for sink in self.pipeline.sinks():
             report.outputs[sink.name] = values[sink.name]
         for binding in self.bound:
@@ -263,6 +317,44 @@ class PhysicalPlan:
         for binding in self.bound:
             lines.append(f"  {binding.describe()}")
         return "\n".join(lines)
+
+
+def _add_call_spans(parent, records, module_start: float) -> None:
+    """Attach one ``llm_call`` span per canonical ledger record.
+
+    Calls are not traced live — request coalescing makes the winning thread
+    racy — but derived from the operator's canonicalized ledger slice, laid
+    out on the sequential virtual timeline under the (already closed)
+    module span: each span starts where the previous one's latency ended.
+    Intervals are clamped to the parent's: the scheduler sums per-scope
+    elapsed times first, so the module's clock total can differ from the
+    cumulative per-record sum by float-rounding epsilons.
+    """
+    from repro.obs.trace import Span
+
+    cursor = module_start
+    for record in records:
+        start = min(cursor, parent.end)
+        cursor += record.latency_seconds
+        parent.children.append(
+            Span(
+                name=f"llm[{record.purpose or record.skill or 'call'}]",
+                kind="llm_call",
+                start=start,
+                end=min(cursor, parent.end),
+                attributes={
+                    "provenance": record.provenance,
+                    "outcome": record.outcome,
+                    "cached": record.cached,
+                    "cost": record.cost,
+                    "prompt_tokens": record.prompt_tokens,
+                    "completion_tokens": record.completion_tokens,
+                    "latency_seconds": record.latency_seconds,
+                    "retries": record.retries,
+                    "skill": record.skill,
+                },
+            )
+        )
 
 
 def _tree_degraded(module: Module) -> int:

@@ -135,6 +135,8 @@ class Module(ABC):
         self.quarantine: list[QuarantinedRecord] = []
         self._lock = threading.RLock()
         self._tls = threading.local()
+        # Optional repro.obs.Observability hub (attached by the compiler).
+        self.obs = None
 
     @abstractmethod
     def _run(self, value: Any) -> Any:
@@ -191,6 +193,8 @@ class Module(ABC):
     def quarantine_record(self, record: Any, error: BaseException | str) -> None:
         """Isolate one failed record instead of propagating its error."""
         entry = QuarantinedRecord(record, self.name, str(error))
+        if self.obs is not None:
+            self.obs.metrics.counter("module.quarantined").inc()
         bucket = getattr(self._tls, "bucket", None)
         if bucket is not None:
             bucket.append(entry)

@@ -138,6 +138,8 @@ class BatchLLMModule(Module):
                 for original_index in indices:
                     with self._lock:
                         self.fallback_items += 1
+                    if self.obs is not None:
+                        self.obs.metrics.counter("batch_llm.fallback_items").inc()
                     parsed, ok = self._item_via_fallback(
                         original_index, values[original_index], batch_error
                     )
@@ -162,6 +164,8 @@ class BatchLLMModule(Module):
                 if not ok:
                     with self._lock:
                         self.fallback_items += 1
+                    if self.obs is not None:
+                        self.obs.metrics.counter("batch_llm.fallback_items").inc()
                     parsed, ok = self._item_via_fallback(
                         original_index, values[original_index], None
                     )

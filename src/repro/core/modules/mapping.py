@@ -73,6 +73,8 @@ class MapModule(Module):
                         out.append(self.fallback.run(item))
                         degraded_count += 1
                         degraded = True
+                        if self.obs is not None:
+                            self.obs.metrics.counter("module.degraded").inc()
                     except Exception as fallback_error:
                         error = fallback_error
                 if not degraded:

@@ -212,6 +212,12 @@ class DistillationRouter(Module):
         self._since_audit = 0
         self._audit_results: deque[bool] = deque(maxlen=max(audit_window, min_audits))
 
+    def _bump(self, name: str) -> None:
+        """Mirror one router event into the service's metrics, when attached."""
+        obs = getattr(self.service, "obs", None)
+        if obs is not None:
+            obs.metrics.counter(f"distill.{name}").inc()
+
     # -- training -------------------------------------------------------------
 
     def _new_model(self) -> SoftmaxRegression | _ForestStudent:
@@ -242,10 +248,12 @@ class DistillationRouter(Module):
         self._model = self._new_model().fit(X, self._y)
         self._pending_since_fit = 0
         self.distill_stats.refits += 1
+        self._bump("refits")
         if not self._promoted and self._holdout_accuracy >= self.accuracy_bar:
             self._promoted = True
             self._audit_results.clear()
             self.distill_stats.promotions += 1
+            self._bump("promotions")
 
     # -- control logic -------------------------------------------------------
 
@@ -267,6 +275,7 @@ class DistillationRouter(Module):
         # refit_every more teacher-labelled samples arrive.
         self._pending_since_fit = 0
         self.distill_stats.demotions += 1
+        self._bump("demotions")
 
     def _prompt_for(self, value: Any) -> str:
         build_prompt = getattr(self.teacher, "build_prompt", None)
@@ -288,6 +297,7 @@ class DistillationRouter(Module):
                 raise
             label, _ = self._model.predict_with_confidence(vector.reshape(1, -1))[0]
             self.distill_stats.degraded_answers += 1
+            self._bump("degraded_answers")
             self.service.record_distilled(
                 self._prompt_for(value),
                 str(label),
@@ -296,6 +306,7 @@ class DistillationRouter(Module):
             )
             return label
         self.distill_stats.teacher_calls += 1
+        self._bump("teacher_calls")
         self._record_sample(vector, label)
         return label
 
@@ -317,6 +328,7 @@ class DistillationRouter(Module):
                     # Audit: pay the teacher for this one and compare.
                     self._since_audit = 0
                     self.distill_stats.audits += 1
+                    self._bump("audits")
                     teacher_label = self._teach(value, vector)
                     agreed = teacher_label == label
                     if not agreed:
@@ -333,11 +345,13 @@ class DistillationRouter(Module):
                         self._demote()
                     return teacher_label
                 self.distill_stats.student_calls += 1
+                self._bump("student_calls")
                 self.service.record_distilled(
                     self._prompt_for(value), str(label), purpose=self.purpose
                 )
                 return label
             self.distill_stats.deferrals += 1
+            self._bump("deferrals")
         return self._teach(value, vector)
 
     def describe(self) -> str:

@@ -185,6 +185,17 @@ class Scheduler:
         started = time.perf_counter()
         with module._lock:
             module.stats.invocations += 1
+        obs = getattr(service, "obs", None)
+        if obs is not None:
+            obs.metrics.counter("scheduler.chunked_operators").inc()
+            obs.metrics.counter("scheduler.chunks").inc(len(chunks))
+            from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
+
+            sizes = obs.metrics.histogram(
+                "scheduler.chunk_records", DEFAULT_SIZE_BUCKETS
+            )
+            for chunk in chunks:
+                sizes.observe(len(chunk))
 
         def task(chunk: list[Any]) -> tuple[CallScope, ChunkOutcome]:
             with service.scoped(base) as scope:
@@ -208,13 +219,27 @@ class Scheduler:
             raise
 
         outputs: list[Any] = []
-        for scope, outcome in results:
+        tracer = obs.tracer if obs is not None else None
+        for index, (scope, outcome) in enumerate(results):
             service.merge_scope(scope)
             with module._lock:
                 module.quarantine.extend(outcome.quarantine)
                 module.stats.quarantined += len(outcome.quarantine)
                 module.stats.degraded += outcome.degraded
             outputs.extend(outcome.outputs)
+            if tracer is not None and tracer.enabled:
+                # Chunk spans carry structure, not latency: which chunk pays
+                # a coalesced call's wait is racy, so they pin the
+                # operator-entry timestamp and deterministic counts only.
+                tracer.add_span(
+                    f"chunk[{index}]",
+                    kind="chunk",
+                    start=base,
+                    records=len(chunks[index]),
+                    outputs=len(outcome.outputs),
+                    quarantined=len(outcome.quarantine),
+                    degraded=outcome.degraded,
+                )
         with service._lock:
             canonicalize_ledger(service.records, mark)
         with module._lock:

@@ -49,6 +49,12 @@ class LinguaManga:
         ``service`` is given): answers persist across processes, so a
         second run of the same app warm-starts instead of re-paying the
         provider.
+    obs:
+        Optional :class:`repro.obs.Observability` hub.  When given, every
+        layer — service, cache, breakers, scheduler, modules, plan
+        executor — publishes spans and metrics into it, and run reports
+        carry a per-module profile.  ``None`` (the default) collects
+        nothing and adds no overhead.
     """
 
     def __init__(
@@ -57,14 +63,22 @@ class LinguaManga:
         database: Database | None = None,
         knowledge: KnowledgeBase | None = None,
         cache_path: str | None = None,
+        obs: "Any | None" = None,
     ):
         if service is None:
             provider = SimulatedProvider(knowledge=knowledge)
-            service = LLMService(provider, cache_path=cache_path)
+            service = LLMService(provider, cache_path=cache_path, obs=obs)
+        elif obs is not None:
+            service.attach_obs(obs)
         self.service = service
         self.database = database or Database()
         self.context = CompilerContext(service=self.service, database=self.database)
         self.compiler = LinguaMangaCompiler(self.context)
+
+    @property
+    def obs(self):
+        """The attached observability hub, if any."""
+        return self.service.obs
 
     # -- pipeline construction ----------------------------------------------------
 

@@ -352,6 +352,9 @@ class PromptCache:
         self._lock = threading.RLock()
         self._entries: "OrderedDict[CacheKey, LLMResponse]" = OrderedDict()
         self.stats = CacheStats()
+        # Optional repro.obs.metrics.MetricsRegistry, attached by
+        # LLMService.attach_obs(); mirrored alongside `stats` when set.
+        self.metrics = None
         self.journal = CacheJournal(self.path) if self.path is not None else None
         self._near = NearDuplicateIndex(self.near_threshold)
         if self.journal is not None:
@@ -374,9 +377,13 @@ class PromptCache:
             response = self._entries.get(key)
             if response is None:
                 self.stats.misses += 1
+                if self.metrics is not None:
+                    self.metrics.counter("cache.misses").inc()
                 return None
             self._entries.move_to_end(key)
             self.stats.exact_hits += 1
+            if self.metrics is not None:
+                self.metrics.counter("cache.exact_hits").inc()
             return response
 
     def peek(self, key: CacheKey) -> bool:
@@ -392,6 +399,10 @@ class PromptCache:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+                if self.metrics is not None:
+                    self.metrics.counter("cache.evictions").inc()
+            if self.metrics is not None:
+                self.metrics.gauge("cache.entries").set(len(self._entries))
             if self.journal is not None:
                 self.journal.append(key, response)
                 if self.journal.lines_appended > max(
@@ -409,6 +420,8 @@ class PromptCache:
             found = self._near.lookup(key)
             if found is not None:
                 self.stats.near_hits += 1
+                if self.metrics is not None:
+                    self.metrics.counter("cache.near_hits").inc()
             return found
 
     def has_any(self, key: CacheKey) -> bool:

@@ -188,6 +188,7 @@ class LLMService:
         clock: VirtualClock | None = None,
         cache: PromptCache | None = None,
         cache_path: str | Path | None = None,
+        obs: "object | None" = None,
     ):
         self.provider = provider or SimulatedProvider()
         self.cache_enabled = cache_enabled
@@ -211,6 +212,23 @@ class LLMService:
         self._cache_epoch = 0
         self.coalesced_calls = 0
         self.breakers = self._build_breakers()
+        self.obs = None
+        if obs is not None:
+            self.attach_obs(obs)
+
+    def attach_obs(self, obs) -> None:
+        """Attach a :class:`repro.obs.Observability` hub to this service.
+
+        Wires the metrics registry into the prompt cache and every circuit
+        breaker; ledger records are published via :meth:`_record`.  The
+        observability path never alters what the service answers or
+        ledgers — it only mirrors.
+        """
+        self.obs = obs
+        self.cache.metrics = obs.metrics
+        for breaker in self.breakers:
+            if breaker is not None:
+                breaker.metrics = obs.metrics
 
     def _cache_key(self, prompt: str, max_tokens: int, version: str) -> CacheKey:
         return CacheKey(
@@ -285,12 +303,36 @@ class LLMService:
         return scope.clock if scope is not None else self.clock
 
     def _record(self, record: CallRecord) -> None:
+        if self.obs is not None:
+            self._publish_record(record)
         scope = self._scope()
         if scope is not None:
             scope.records.append(record)
             return
         with self._lock:
             self.records.append(record)
+
+    def _publish_record(self, record: CallRecord) -> None:
+        """Mirror one ledger record into the attached metrics registry."""
+        # Deferred: repro.obs imports repro.llm.cache, so a module-level
+        # import here would be circular through the repro.llm package.
+        from repro.obs.metrics import DEFAULT_TOKEN_BUCKETS
+
+        metrics = self.obs.metrics
+        if not metrics.enabled:
+            return
+        metrics.counter("llm.records").inc()
+        metrics.counter(f"llm.provenance.{record.provenance}").inc()
+        metrics.counter(f"llm.outcome.{record.outcome}").inc()
+        if record.retries:
+            metrics.counter("llm.retries").inc(record.retries)
+        metrics.counter("llm.cost").inc(record.cost)
+        metrics.counter("llm.prompt_tokens").inc(record.prompt_tokens)
+        metrics.counter("llm.completion_tokens").inc(record.completion_tokens)
+        metrics.histogram("llm.latency_seconds").observe(record.latency_seconds)
+        metrics.histogram("llm.prompt_tokens.dist", DEFAULT_TOKEN_BUCKETS).observe(
+            record.prompt_tokens
+        )
 
     # -- core API --------------------------------------------------------------
 
@@ -340,6 +382,8 @@ class LLMService:
                 break  # this thread leads the provider call
             with self._lock:
                 self.coalesced_calls += 1
+            if self.obs is not None:
+                self.obs.metrics.counter("llm.coalesced").inc()
             leader_gate.wait()
             # Re-check: the leader either cached a response (-> hit) or
             # failed (-> compete to become the next leader).

@@ -1,0 +1,91 @@
+"""Observability for Lingua Manga runs: tracing, metrics and profiling.
+
+The paper's optimizer and cost claims hinge on *seeing* what a pipeline
+did — which module called the LLM, how often, at what cost, from which
+cache tier.  This package is that substrate:
+
+- :mod:`repro.obs.trace` — deterministic hierarchical spans
+  (``run > phase > module > chunk > llm_call``) on the virtual clock,
+  exportable to JSONL and byte-identical at any worker count;
+- :mod:`repro.obs.metrics` — a registry of counters, gauges and
+  fixed-bucket histograms that every subsystem publishes into;
+- :mod:`repro.obs.profile` — the per-module run profiler attached to
+  ``RunReport.profile``, reconciling exactly with ``CostSnapshot``.
+
+Everything hangs off one :class:`Observability` hub::
+
+    obs = Observability()
+    system = LinguaManga(obs=obs)
+    report = run_lingua_manga_er(system, dataset)
+    print(report.profile.to_table())
+    obs.tracer.export_jsonl("trace.jsonl")
+    print(obs.metrics.to_text())
+
+Observability is **off by default**: a system without an ``obs=`` makes
+the exact same provider calls, writes the exact same ledger, and pays no
+tracing overhead (null spans/metrics, nothing allocated).
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    DEFAULT_TOKEN_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import ProfileRow, RunProfile, profile_records
+from repro.obs.trace import (
+    NULL_SPAN,
+    SPAN_KINDS,
+    Span,
+    Tracer,
+    provenance_counts,
+    span_tree_problems,
+    walk_spans,
+)
+
+__all__ = [
+    "Observability",
+    "Tracer",
+    "Span",
+    "SPAN_KINDS",
+    "NULL_SPAN",
+    "walk_spans",
+    "span_tree_problems",
+    "provenance_counts",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_TOKEN_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "RunProfile",
+    "ProfileRow",
+    "profile_records",
+]
+
+
+class Observability:
+    """One tracer + one metrics registry, shared by a whole system.
+
+    Pass to :class:`~repro.core.runtime.system.LinguaManga` (or
+    :meth:`LLMService.attach_obs`) to instrument every layer at once.
+    ``trace=False`` / ``metrics=False`` disable a half independently —
+    disabled halves hand out shared null objects and record nothing.
+    """
+
+    def __init__(self, trace: bool = True, metrics: bool = True):
+        self.tracer = Tracer(enabled=trace)
+        self.metrics = MetricsRegistry(enabled=metrics)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any half is collecting."""
+        return self.tracer.enabled or self.metrics.enabled
+
+    def clear(self) -> None:
+        """Drop collected spans (metrics registries are append-only)."""
+        self.tracer.clear()

@@ -59,6 +59,8 @@ class CircuitBreaker:
         self.opened_at = 0.0
         self.opens = 0  # lifetime count of closed/half-open -> open transitions
         self._outcomes: deque[bool] = deque(maxlen=window)
+        # Optional repro.obs.metrics.MetricsRegistry (set by attach_obs).
+        self.metrics = None
 
     def clone(self) -> "CircuitBreaker":
         """A fresh breaker with the same configuration (per-provider copies)."""
@@ -126,10 +128,14 @@ class CircuitBreaker:
         self.opened_at = now
         self.opens += 1
         self._outcomes.clear()
+        if self.metrics is not None:
+            self.metrics.counter("breaker.opens").inc()
 
     def _close(self) -> None:
         self.state = BreakerState.CLOSED
         self._outcomes.clear()
+        if self.metrics is not None:
+            self.metrics.counter("breaker.closes").inc()
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return (

@@ -8,6 +8,7 @@ and evaluates it with the Table 1 protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.runtime.system import LinguaManga
 from repro.core.templates.library import get_template
@@ -34,6 +35,8 @@ class ERResult:
     cached_calls: int = 0
     near_hits: int = 0
     distilled_calls: int = 0
+    #: the underlying RunReport (module stats, quarantine, profile)
+    report: Any = None
 
 
 def pick_examples(pairs: list[RecordPair], k: int = 4) -> list[tuple[tuple, bool]]:
@@ -93,4 +96,5 @@ def run_lingua_manga_er(
         cached_calls=after.cached_calls - before.cached_calls,
         near_hits=after.near_hits - before.near_hits,
         distilled_calls=after.distilled_calls - before.distilled_calls,
+        report=report,
     )

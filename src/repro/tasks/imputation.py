@@ -12,6 +12,7 @@ Two Lingua Manga variants are provided, matching the paper's comparison:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.dsl.builder import PipelineBuilder
 from repro.core.runtime.system import LinguaManga
@@ -34,6 +35,8 @@ class ImputationResult:
     cached_calls: int = 0
     near_hits: int = 0
     distilled_calls: int = 0
+    #: the underlying RunReport (module stats, quarantine, profile)
+    report: Any = None
 
 
 def _score(
@@ -43,6 +46,7 @@ def _score(
     raw_predictions: list,
     before,
     after,
+    report=None,
 ) -> ImputationResult:
     predictions = [
         "Unknown" if p is None else str(p).strip() for p in raw_predictions
@@ -56,6 +60,7 @@ def _score(
         cached_calls=after.cached_calls - before.cached_calls,
         near_hits=after.near_hits - before.near_hits,
         distilled_calls=after.distilled_calls - before.distilled_calls,
+        report=report,
     )
 
 
@@ -84,6 +89,7 @@ def run_llm_imputation(
         next(iter(report.outputs.values())),
         before,
         after,
+        report=report,
     )
 
 
@@ -111,4 +117,5 @@ def run_hybrid_imputation(
         next(iter(report.outputs.values())),
         before,
         after,
+        report=report,
     )

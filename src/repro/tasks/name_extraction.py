@@ -9,6 +9,7 @@ the simulator-accelerated version.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.runtime.system import LinguaManga
 from repro.core.templates.library import get_template
@@ -31,6 +32,8 @@ class NameExtractionResult:
     cached_calls: int = 0
     near_hits: int = 0
     distilled_calls: int = 0
+    #: the underlying RunReport (module stats, quarantine, profile)
+    report: Any = None
 
 
 def score_extractions(
@@ -103,4 +106,5 @@ def run_name_extraction(
         cached_calls=after.cached_calls - before.cached_calls,
         near_hits=after.near_hits - before.near_hits,
         distilled_calls=after.distilled_calls - before.distilled_calls,
+        report=report,
     )

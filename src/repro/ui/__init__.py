@@ -3,6 +3,7 @@
 from repro.ui.views import (
     ModuleInspectorView,
     PipelineCanvasView,
+    ProfilePanelView,
     RunLogView,
     UsagePanelView,
     render_screen,
@@ -11,6 +12,7 @@ from repro.ui.views import (
 __all__ = [
     "ModuleInspectorView",
     "PipelineCanvasView",
+    "ProfilePanelView",
     "RunLogView",
     "UsagePanelView",
     "render_screen",

@@ -21,6 +21,7 @@ __all__ = [
     "ModuleInspectorView",
     "RunLogView",
     "UsagePanelView",
+    "ProfilePanelView",
     "render_screen",
 ]
 
@@ -112,6 +113,20 @@ class RunLogView:
 
 
 @dataclass
+class ProfilePanelView:
+    """The profiler panel: the run's per-module cost/provenance table."""
+
+    report: RunReport
+
+    def render(self) -> str:
+        """Render the profile table (empty box when the run has no profile)."""
+        profile = self.report.profile
+        if profile is None or not profile.rows:
+            return _box("run profile", ["(no profile collected)"])
+        return _box("run profile", profile.to_table().splitlines(), width=110)
+
+
+@dataclass
 class UsagePanelView:
     """The footer: cumulative LLM usage of the session."""
 
@@ -144,5 +159,7 @@ def render_screen(
         panels.append(ModuleInspectorView(plan.module(inspect)).render())
     if report is not None:
         panels.append(RunLogView(report).render())
+        if report.profile is not None and report.profile.rows:
+            panels.append(ProfilePanelView(report).render())
     panels.append(UsagePanelView(plan.context.service).render())
     return "\n\n".join(panels)

@@ -8,6 +8,18 @@ from repro.core.compiler.context import CompilerContext
 from repro.core.runtime.system import LinguaManga
 from repro.llm.providers import SimulatedProvider
 from repro.llm.service import LLMService
+from repro.resilience.clock import VirtualClock
+
+
+@pytest.fixture()
+def virtual_clock() -> VirtualClock:
+    """A fresh deterministic clock starting at t=0.
+
+    Tests that need time to pass call ``virtual_clock.advance(seconds)``
+    instead of sleeping: logical time is exact, instant and immune to
+    scheduler jitter, so timing-sensitive assertions never flake.
+    """
+    return VirtualClock()
 
 
 @pytest.fixture()

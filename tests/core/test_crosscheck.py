@@ -1,0 +1,135 @@
+"""Direct unit tests for cross-checked prompting (repro.core.optimizer.crosscheck)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.modules.base import Module
+from repro.core.modules.llm_module import LLMModule
+from repro.core.optimizer.crosscheck import (
+    CrossCheckStats,
+    CrossCheckedModule,
+    make_llm_variants,
+)
+from repro.llm.providers import SimulatedProvider
+from repro.llm.service import LLMService
+
+
+class Fixed(Module):
+    """A module that always answers the same thing."""
+
+    module_type = "custom"
+
+    def __init__(self, name: str, answer):
+        super().__init__(name)
+        self.answer = answer
+
+    def _run(self, value):
+        return self.answer
+
+
+def checked(*answers, fallback=...):
+    variants = [Fixed(f"v{i}", answer) for i, answer in enumerate(answers)]
+    if fallback is ...:
+        return CrossCheckedModule("x", variants)
+    return CrossCheckedModule("x", variants, fallback=fallback)
+
+
+class TestCrossCheckedModule:
+    def test_needs_at_least_two_variants(self):
+        with pytest.raises(ValueError, match="at least two"):
+            CrossCheckedModule("x", [Fixed("only", 1)])
+
+    def test_unanimous_answer_passes_through(self):
+        module = checked("yes", "yes", "yes")
+        assert module.run("q") == "yes"
+        assert module.check_stats.unanimous == 1
+        assert module.check_stats.flag_rate() == 0.0
+
+    def test_majority_outvotes_dissenter(self):
+        # The first variant hallucinates; the majority corrects it.
+        module = checked("no", "yes", "yes")
+        assert module.run("q") == "yes"
+        assert module.check_stats.majority == 1
+        assert module.check_stats.unanimous == 0
+
+    def test_full_disagreement_uses_fallback(self):
+        module = checked("a", "b", "c", fallback="unsure")
+        assert module.run("q") == "unsure"
+        assert module.check_stats.disagreements == 1
+
+    def test_full_disagreement_without_fallback_trusts_primary(self):
+        module = checked("a", "b", "c")
+        assert module.run("q") == "a"
+        assert module.check_stats.disagreements == 1
+
+    def test_none_is_a_legal_fallback(self):
+        # ``None`` must be distinguishable from "no fallback configured".
+        module = checked("a", "b", "c", fallback=None)
+        assert module.run("q") is None
+
+    def test_even_split_trusts_primary(self):
+        module = checked("a", "a", "b", "b")
+        assert module.run("q") == "a"
+        assert module.check_stats.disagreements == 1
+
+    def test_stats_accumulate_over_inputs(self):
+        module = checked("yes", "yes", "yes")
+        for _ in range(3):
+            module.run("q")
+        assert module.check_stats.total == 3
+
+    def test_describe_mentions_variant_count_and_stats(self):
+        module = checked("yes", "yes", "yes")
+        module.run("q")
+        text = module.describe()
+        assert "cross-check x3" in text
+        assert "unanimous=1" in text
+
+
+class TestCrossCheckStats:
+    def test_flag_rate_counts_any_dissent(self):
+        stats = CrossCheckStats(unanimous=2, majority=1, disagreements=1)
+        assert stats.total == 4
+        assert stats.flag_rate() == pytest.approx(0.5)
+
+    def test_empty_stats_flag_rate_is_zero(self):
+        assert CrossCheckStats().flag_rate() == 0.0
+
+    def test_to_text_is_one_line(self):
+        text = CrossCheckStats(unanimous=1).to_text()
+        assert "\n" not in text
+        assert "flag_rate=0%" in text
+
+
+class TestMakeLLMVariants:
+    def make_module(self) -> LLMModule:
+        service = LLMService(SimulatedProvider())
+        return LLMModule(
+            name="judge",
+            service=service,
+            task_description="Decide whether the two records match.",
+            examples=[("a ||| a", "yes")],
+        )
+
+    def test_original_module_is_first_variant(self):
+        module = self.make_module()
+        variants = make_llm_variants(module, ["Paraphrase one.", "Paraphrase two."])
+        assert variants[0] is module
+        assert len(variants) == 3
+
+    def test_clones_get_paraphrased_descriptions_and_fresh_names(self):
+        module = self.make_module()
+        variants = make_llm_variants(module, ["Paraphrase one."])
+        clone = variants[1]
+        assert clone.name == "judge_v1"
+        assert clone.task_description == "Paraphrase one."
+        assert clone.task_description != module.task_description
+
+    def test_clones_share_service_and_parser_but_not_example_lists(self):
+        module = self.make_module()
+        clone = make_llm_variants(module, ["p"])[1]
+        assert clone.service is module.service
+        assert clone.parser is module.parser
+        assert clone.examples == module.examples
+        assert clone.examples is not module.examples

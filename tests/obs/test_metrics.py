@@ -1,0 +1,112 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_SIZE_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.metrics import _NULL_METRIC
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(2.5)
+        assert registry.value("c") == 3.5
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="cannot decrease"):
+            registry.counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(5)
+        registry.gauge("g").set(2)
+        assert registry.value("g") == 2
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", bounds=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 11.0):
+            histogram.observe(value)
+        # counts[i] holds observations <= bounds[i]; last slot is overflow.
+        assert histogram.counts == [2, 2, 1]
+        assert histogram.total == 5
+        assert histogram.sum == pytest.approx(27.5)
+
+    def test_counts_sum_to_total(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", bounds=DEFAULT_SIZE_BUCKETS)
+        for value in range(200):
+            histogram.observe(float(value))
+        assert sum(histogram.counts) == histogram.total == 200
+
+    def test_non_increasing_bounds_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", (1.0, 1.0), lock=MetricsRegistry()._lock)
+
+    def test_redeclaring_with_other_bounds_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", bounds=(1.0, 2.0))
+        with pytest.raises(ValueError, match="already declared"):
+            registry.histogram("h", bounds=(1.0, 3.0))
+
+
+class TestRegistry:
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.gauge("x")
+
+    def test_disabled_registry_hands_out_null_metrics(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("c") is _NULL_METRIC
+        assert registry.gauge("g") is _NULL_METRIC
+        assert registry.histogram("h") is _NULL_METRIC
+        registry.counter("c").inc()
+        assert registry.as_dict() == {}
+
+    def test_as_dict_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc()
+        registry.counter("alpha").inc()
+        assert list(registry.as_dict()) == ["alpha", "zeta"]
+
+    def test_merge_counters_add_gauges_max_histograms_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        a.gauge("g").set(1)
+        b.gauge("g").set(9)
+        a.histogram("h", bounds=(1.0,)).observe(0.5)
+        b.histogram("h", bounds=(1.0,)).observe(2.0)
+        a.merge(b)
+        assert a.value("c") == 5
+        assert a.value("g") == 9
+        merged = a.as_dict()["h"]
+        assert merged["counts"] == [1, 1]
+        assert merged["total"] == 2
+
+    def test_merge_rejects_conflicting_histogram_bounds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", bounds=(1.0,))
+        b.histogram("h", bounds=(2.0,)).observe(1.0)
+        with pytest.raises(ValueError, match="already declared"):
+            a.merge(b)
+
+    def test_to_text_mentions_every_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("calls").inc(7)
+        registry.histogram("lat", bounds=(1.0,)).observe(0.5)
+        text = registry.to_text()
+        assert "calls: counter value=7" in text
+        assert "lat: histogram total=1" in text

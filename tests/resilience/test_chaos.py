@@ -7,7 +7,6 @@ import pytest
 from repro.llm.errors import ProviderError, RateLimitError
 from repro.llm.faults import ChaosProvider, FaultKind, FaultSpec
 from repro.llm.providers import LLMRequest, SimulatedProvider
-from repro.resilience import VirtualClock
 
 PROMPT = "Which language is this? Text: El informe fue presentado ayer."
 
@@ -97,17 +96,17 @@ class TestFaultKinds:
             chaos.complete(LLMRequest(prompt=PROMPT))
         assert excinfo.value.retry_after == 7.5
 
-    def test_outage_window_on_virtual_clock(self):
-        clock = VirtualClock()
+    def test_outage_window_on_virtual_clock(self, virtual_clock):
         chaos = make_chaos(
-            [FaultSpec(kind=FaultKind.OUTAGE, start=10.0, end=20.0)], clock=clock
+            [FaultSpec(kind=FaultKind.OUTAGE, start=10.0, end=20.0)],
+            clock=virtual_clock,
         )
         request = LLMRequest(prompt=PROMPT)
         assert chaos.complete(request).text  # before the window: healthy
-        clock.advance(15.0)
+        virtual_clock.advance(15.0)
         with pytest.raises(ProviderError):
             chaos.complete(request)
-        clock.advance(10.0)  # past the window: healthy again
+        virtual_clock.advance(10.0)  # past the window: healthy again
         assert chaos.complete(request).text
 
     def test_latency_spike_adds_seconds(self):

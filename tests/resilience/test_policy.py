@@ -17,11 +17,10 @@ from repro.resilience import (
 
 
 class TestVirtualClock:
-    def test_advances(self):
-        clock = VirtualClock()
-        clock.advance(1.5)
-        clock.advance(2.5)
-        assert clock.now == pytest.approx(4.0)
+    def test_advances(self, virtual_clock):
+        virtual_clock.advance(1.5)
+        virtual_clock.advance(2.5)
+        assert virtual_clock.now == pytest.approx(4.0)
 
     def test_negative_advance_clamped(self):
         clock = VirtualClock(now=3.0)

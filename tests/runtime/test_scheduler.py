@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import threading
-import time
 
 import pytest
 
@@ -174,18 +173,20 @@ class TestScheduler:
         assert out == [v * 2 for v in range(10)]
 
     def test_run_operator_uses_multiple_threads(self):
-        class SlowDoubler(Doubler):
-            # Slow enough that a worker is still busy when the next chunk
-            # is submitted, forcing the pool to spawn a second thread.
+        # Two chunks rendezvous at a barrier: neither can finish until both
+        # are running, which *proves* two pool threads without sleeping.
+        barrier = threading.Barrier(2, timeout=10.0)
+
+        class RendezvousDoubler(Doubler):
             def apply_chunk(self, chunk):
-                time.sleep(0.02)
+                barrier.wait()
                 return super().apply_chunk(chunk)
 
         service = LLMService(SimulatedProvider())
-        scheduler = Scheduler(workers=4, chunk_size=1)
-        module = SlowDoubler()
-        scheduler.run_operator(module, list(range(8)), service)
-        assert len(module.threads) > 1
+        scheduler = Scheduler(workers=2, chunk_size=1)
+        module = RendezvousDoubler()
+        scheduler.run_operator(module, [1, 2], service)
+        assert len(module.threads) == 2
 
     def test_workers_one_stays_inline(self):
         service = LLMService(SimulatedProvider())

@@ -54,10 +54,16 @@ class TestWarmCacheDeterminism:
         cold = json.loads(runs["cold"])
         warm = json.loads(runs["warm"][1])
         cold_cost, warm_cost = cold.pop("cost"), warm.pop("cost")
+        # The profile is a declared cost field too: it carries the
+        # provider/cache split, which legitimately flips on a warm run.
+        cold.pop("profile")
+        warm_profile = warm.pop("profile")
         assert cold == warm  # outputs, quarantine, module stats: identical
         assert warm_cost["served_calls"] == 0
         assert warm_cost["cost"] == 0.0
         assert warm_cost["cached_calls"] > cold_cost["served_calls"] * 0.5
+        assert sum(row["provider_calls"] for row in warm_profile) == 0
+        assert sum(row["cost"] for row in warm_profile) == 0.0
 
     def test_warm_repeat_is_byte_identical(self, dataset, tmp_path):
         journal = tmp_path / "cache.jsonl"
