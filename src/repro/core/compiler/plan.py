@@ -197,11 +197,50 @@ class PhysicalPlan:
         """The physical module bound to ``operator_name``."""
         return self._by_name[operator_name].module
 
+    def fingerprint(
+        self,
+        inputs: dict[str, Any] | None = None,
+        chunk_size: int | None = None,
+    ) -> str:
+        """Stable identity of (plan, inputs, chunking) for checkpoint resume.
+
+        Built from identity-stable parts only — operator names/kinds/
+        wiring, module names/types, the provider's cache identity, the
+        requested ``chunk_size`` and a digest of the caller's inputs.
+        Deliberately *not* from ``describe()`` strings, which embed mutable
+        counters (e.g. a fallback count) and would change between the
+        original run and the recompiled resume.  The worker count is
+        excluded: the determinism contract makes it immaterial to results,
+        so a run checkpointed at 8 workers may resume at 1.
+        """
+        from repro.core.runtime.checkpoint import digest_inputs, fingerprint_payload
+
+        service = self.context.service
+        identity = {
+            "pipeline": self.pipeline.name,
+            "operators": [
+                {
+                    "name": binding.operator.name,
+                    "kind": binding.operator.kind,
+                    "inputs": list(binding.operator.inputs),
+                    "module": binding.module.name,
+                    "module_type": type(binding.module).__name__,
+                    "config": binding.module.config_identity(),
+                }
+                for binding in self.bound
+            ],
+            "provider": service.provider.cache_identity(),
+            "chunk_size": chunk_size,
+            "inputs": digest_inputs(inputs),
+        }
+        return fingerprint_payload(identity)
+
     def execute(
         self,
         inputs: dict[str, Any] | None = None,
         workers: int | None = None,
         chunk_size: int | None = None,
+        checkpoint: "Any | None" = None,
     ) -> RunReport:
         """Run the plan; returns a :class:`RunReport` with sink outputs.
 
@@ -216,18 +255,34 @@ class PhysicalPlan:
         inputs (``chunk_size`` records per chunk) and merges results in
         deterministic chunk order — ``workers=1`` and ``workers=8``
         produce identical :meth:`RunReport.canonical_json` output.
+
+        ``checkpoint`` (a :class:`~repro.core.runtime.checkpoint.
+        RunCheckpoint`) turns execution crash-safe: every finished chunk
+        and operator is journalled write-ahead, and a resume replays the
+        journalled prefix verbatim — zero provider calls for completed
+        work — before executing only what remains, producing a report
+        byte-identical to an uninterrupted run.  Checkpointed execution
+        always rides the scheduler (``workers`` defaults to 1 here) so
+        chunk boundaries exist to journal.
         """
         scheduler = None
-        if workers is not None:
+        if workers is not None or checkpoint is not None:
             # Imported lazily: the runtime package imports the system
             # facade, which imports this module.
             from repro.core.runtime.scheduler import Scheduler
 
-            scheduler = Scheduler(workers=workers, chunk_size=chunk_size)
+            scheduler = Scheduler(workers=workers or 1, chunk_size=chunk_size)
         inputs = inputs or {}
         values: dict[str, Any] = {}
         report = RunReport(pipeline_name=self.pipeline.name)
         service = self.context.service
+        if checkpoint is not None:
+            # Before any spans or cost marks: validates the fingerprint
+            # and the clock, rewinds the cache to the journalled run-start
+            # state, and indexes the replayable prefix.
+            checkpoint.begin(
+                self.fingerprint(inputs, chunk_size=chunk_size), service
+            )
         obs = getattr(service, "obs", None)
         tracer = obs.tracer if obs is not None and obs.tracer.enabled else None
         profile = RunProfile()
@@ -237,7 +292,7 @@ class PhysicalPlan:
             else nullcontext()
         )
         with CostTracker(service) as tracker, run_span:
-            for binding in self.bound:
+            for op_index, binding in enumerate(self.bound):
                 operator = binding.operator
                 if not operator.inputs:
                     argument: Any = inputs
@@ -247,7 +302,16 @@ class PhysicalPlan:
                     argument = tuple(values[name] for name in operator.inputs)
                 ledger_mark = len(service.records)
                 degraded_before = _tree_degraded(binding.module)
+                stats_before = _stats_snapshot(binding.module)
                 module_start = service.clock.now
+                replay = None
+                op_ctx = None
+                if checkpoint is not None:
+                    replay = checkpoint.operator_replay(op_index, operator.name)
+                    if replay is None:
+                        op_ctx = checkpoint.operator_context(
+                            op_index, operator.name
+                        )
                 phase_span = (
                     tracer.span(
                         operator.name,
@@ -270,19 +334,46 @@ class PhysicalPlan:
                         else nullcontext()
                     )
                     with module_span as span:
-                        if scheduler is not None:
-                            values[operator.name] = scheduler.run_operator(
-                                binding.module, argument, service
+                        if replay is not None:
+                            # Committed operator: re-apply its journalled
+                            # effects verbatim — outputs, ledger slice,
+                            # clock, stats, cache warmth — at zero
+                            # provider cost.
+                            values[operator.name] = replay.outputs
+                            checkpoint.apply_operator_replay(
+                                binding.module, replay, service
                             )
+                            if tracer is not None:
+                                for summary in replay.chunk_summaries:
+                                    tracer.add_span(
+                                        f"chunk[{summary['chunk']}]",
+                                        kind="chunk",
+                                        start=module_start,
+                                        records=summary["records"],
+                                        outputs=summary["outputs"],
+                                        quarantined=summary["quarantined"],
+                                        degraded=summary["degraded"],
+                                    )
+                            drained = list(replay.quarantine)
+                            degraded = replay.tree_degraded
                         else:
-                            values[operator.name] = binding.module.run(argument)
-                        drained = binding.module.drain_quarantine()
-                        degraded = (
-                            _tree_degraded(binding.module) - degraded_before
-                        )
+                            if scheduler is not None:
+                                values[operator.name] = scheduler.run_operator(
+                                    binding.module, argument, service,
+                                    op_ctx=op_ctx,
+                                )
+                            else:
+                                values[operator.name] = binding.module.run(
+                                    argument
+                                )
+                            drained = binding.module.drain_quarantine()
+                            degraded = (
+                                _tree_degraded(binding.module) - degraded_before
+                            )
                         # The slice is canonical here (the scheduler merged
                         # and canonicalized; the sequential path is ordered
-                        # by construction), so spans and profile rows are
+                        # by construction; replay re-inserts the canonical
+                        # slice), so spans and profile rows are
                         # deterministic at any worker count.
                         slice_ = service.records[ledger_mark:]
                         if tracer is not None:
@@ -302,6 +393,30 @@ class PhysicalPlan:
                     llm_fallbacks=row.fallbacks,
                     llm_failures=row.failures,
                 )
+                if checkpoint is not None and replay is None:
+                    checkpoint.commit_operator(
+                        op_index,
+                        operator.name,
+                        records=list(slice_),
+                        clock_end=service.clock.now,
+                        outputs=values[operator.name],
+                        quarantine=drained,
+                        stats_delta=_stats_delta(
+                            stats_before, _stats_snapshot(binding.module)
+                        ),
+                        tree_degraded=degraded,
+                        chunk_summaries=(
+                            op_ctx.chunk_summaries if op_ctx is not None else None
+                        )
+                        or None,
+                        service=service,
+                        records_in_chunks=(
+                            op_ctx.records_in_chunks if op_ctx is not None else False
+                        ),
+                        outputs_in_chunks=(
+                            op_ctx.outputs_in_chunks if op_ctx is not None else False
+                        ),
+                    )
         report.partial = bool(report.quarantine)
         report.cost = tracker.snapshot
         report.profile = profile
@@ -355,6 +470,24 @@ def _add_call_spans(parent, records, module_start: float) -> None:
                 },
             )
         )
+
+
+def _stats_snapshot(module: Module) -> dict[str, int]:
+    """The module's deterministic counters (wall time deliberately excluded)."""
+    stats = module.stats
+    return {
+        "invocations": stats.invocations,
+        "failures": stats.failures,
+        "quarantined": stats.quarantined,
+        "degraded": stats.degraded,
+    }
+
+
+def _stats_delta(
+    before: dict[str, int], after: dict[str, int]
+) -> dict[str, int]:
+    """Per-counter change over one operator, journalled for stats replay."""
+    return {key: after[key] - before[key] for key in after}
 
 
 def _tree_degraded(module: Module) -> int:

@@ -219,6 +219,24 @@ class Module(ABC):
                 drained.extend(child.drain_quarantine())
         return drained
 
+    def config_identity(self) -> dict:
+        """JSON-safe identity of this module's *configuration*.
+
+        Feeds :meth:`PhysicalPlan.fingerprint`, so checkpoint resume can
+        refuse a journal written under a different prompt template, example
+        set or wrapper stack.  Must exclude mutable run state (counters,
+        caches, generated code revisions): the fingerprint of a recompiled
+        plan has to match the original byte for byte.  Wrapped children are
+        included via the same conventional attributes
+        :meth:`drain_quarantine` walks.
+        """
+        identity: dict = {"type": self.module_type, "name": self.name}
+        for attribute in ("inner", "stage", "fallback", "teacher"):
+            child = getattr(self, attribute, None)
+            if isinstance(child, Module):
+                identity[attribute] = child.config_identity()
+        return identity
+
     def describe(self) -> str:
         """Short description for plans and the UI."""
         return f"{self.name} <{self.module_type}>"

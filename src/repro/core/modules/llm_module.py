@@ -123,6 +123,19 @@ class LLMModule(Module):
         self.validation_retries = 0
         self.provider_failures = 0
 
+    def config_identity(self) -> dict:
+        identity = super().config_identity()
+        identity.update(
+            task=self.task_description,
+            payload_label=self.payload_label,
+            examples=[list(pair) for pair in self.examples],
+            instructions=self.instructions,
+            version=self.prompt_version,
+            max_attempts=self.max_attempts,
+            purpose=self.purpose,
+        )
+        return identity
+
     def build_prompt(self, value: Any, strictness: int = 0) -> str:
         """Render the full prompt for ``value``.
 

@@ -99,6 +99,16 @@ class LLMGCModule(Module):
         self.revision: int = -1
         self._fn: Callable[[Any, Mapping[str, Any]], Any] | None = None
 
+    def config_identity(self) -> dict:
+        identity = super().config_identity()
+        identity.update(
+            task=self.task_description,
+            tools=sorted(self.tools),
+            guidelines=self.guidelines,
+            purpose=self.purpose,
+        )
+        return identity
+
     # -- code lifecycle ---------------------------------------------------------
 
     def generate(self) -> str:

@@ -1,6 +1,19 @@
-"""Runtime facade: the system object plus the concurrent scheduler."""
+"""Runtime facade: system object, concurrent scheduler, run checkpoints."""
 
+from repro.core.runtime.checkpoint import (
+    CheckpointError,
+    CheckpointJournal,
+    CheckpointMismatchError,
+    RunCheckpoint,
+)
 from repro.core.runtime.scheduler import Scheduler
 from repro.core.runtime.system import LinguaManga
 
-__all__ = ["LinguaManga", "Scheduler"]
+__all__ = [
+    "LinguaManga",
+    "Scheduler",
+    "RunCheckpoint",
+    "CheckpointJournal",
+    "CheckpointError",
+    "CheckpointMismatchError",
+]

@@ -38,6 +38,7 @@ from typing import Any, Sequence
 
 from repro.core.modules.base import ChunkOutcome, Module
 from repro.llm.service import CallScope, LLMService
+from repro.resilience.clock import VirtualClock
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
@@ -169,17 +170,40 @@ class Scheduler:
         )
 
     def run_operator(
-        self, module: Module, value: Any, service: LLMService
+        self, module: Module, value: Any, service: LLMService, op_ctx=None
     ) -> Any:
         """Execute one operator, chunked and parallel where possible.
 
         Falls back to a plain ``module.run(value)`` for non-list inputs
         and modules that are not chunk-capable (or not parallel-safe).
+
+        ``op_ctx`` is a checkpoint :class:`~repro.core.runtime.checkpoint.
+        OperatorContext`: committed chunks from a prior crashed run are
+        replayed verbatim (their ledger records re-warm the exact cache
+        before any live chunk executes, so live chunks hit exactly what
+        they originally hit), remaining chunks run live and are journalled
+        write-ahead the moment they finish, and the named crash boundaries
+        ``chunk:entered`` / ``chunk:executed`` / ``chunk:journaled`` are
+        announced around each live chunk.
         """
         if not self.should_chunk(module, value):
             return module.run(value)
 
         chunks = partition(value, self._chunk_size_for(module))
+        completed = {}
+        if op_ctx is not None:
+            completed = op_ctx.replayable_chunks([len(chunk) for chunk in chunks])
+            if completed:
+                # Cache warming must precede any live execution: a live
+                # chunk that originally hit the cache would otherwise
+                # re-pay the provider and break byte-identical resume.
+                service.restore_from_records(
+                    [
+                        record
+                        for index in sorted(completed)
+                        for record in completed[index].records
+                    ]
+                )
         base = service.clock.now
         mark = len(service.records)
         started = time.perf_counter()
@@ -197,21 +221,34 @@ class Scheduler:
             for chunk in chunks:
                 sizes.observe(len(chunk))
 
-        def task(chunk: list[Any]) -> tuple[CallScope, ChunkOutcome]:
+        def task(index: int, chunk: list[Any]) -> tuple[CallScope, ChunkOutcome]:
+            if op_ctx is not None:
+                op_ctx.crash("chunk:entered")
             with service.scoped(base) as scope:
                 outcome = module.apply_chunk(chunk)
+            if op_ctx is not None:
+                op_ctx.crash("chunk:executed")
+                op_ctx.record_chunk(index, chunk, scope, outcome)
+                op_ctx.crash("chunk:journaled")
             return scope, outcome
 
+        pending = [index for index in range(len(chunks)) if index not in completed]
+        live: dict[int, tuple[CallScope, ChunkOutcome]] = {}
         try:
-            if self.workers == 1 or len(chunks) == 1:
-                results = [task(chunk) for chunk in chunks]
+            if self.workers == 1 or len(pending) <= 1:
+                for index in pending:
+                    live[index] = task(index, chunks[index])
             else:
-                pool_size = min(self.workers, len(chunks))
+                pool_size = min(self.workers, len(pending))
                 with ThreadPoolExecutor(
                     max_workers=pool_size, thread_name_prefix="repro-sched"
                 ) as pool:
-                    futures = [pool.submit(task, chunk) for chunk in chunks]
-                    results = [future.result() for future in futures]
+                    futures = {
+                        index: pool.submit(task, index, chunks[index])
+                        for index in pending
+                    }
+                    for index, future in futures.items():
+                        live[index] = future.result()
         except Exception:
             with module._lock:
                 module.stats.failures += 1
@@ -220,7 +257,22 @@ class Scheduler:
 
         outputs: list[Any] = []
         tracer = obs.tracer if obs is not None else None
-        for index, (scope, outcome) in enumerate(results):
+        for index in range(len(chunks)):
+            replayed = index in completed
+            if replayed:
+                replay = completed[index]
+                scope = CallScope(
+                    base=0.0,
+                    clock=VirtualClock(replay.elapsed),
+                    records=list(replay.records),
+                )
+                outcome = ChunkOutcome(
+                    outputs=list(replay.outputs),
+                    quarantine=list(replay.quarantine),
+                    degraded=replay.degraded,
+                )
+            else:
+                scope, outcome = live[index]
             service.merge_scope(scope)
             with module._lock:
                 module.quarantine.extend(outcome.quarantine)
@@ -239,6 +291,15 @@ class Scheduler:
                     outputs=len(outcome.outputs),
                     quarantined=len(outcome.quarantine),
                     degraded=outcome.degraded,
+                )
+            if op_ctx is not None:
+                op_ctx.note_chunk(
+                    index,
+                    records=len(chunks[index]),
+                    outputs=len(outcome.outputs),
+                    quarantined=len(outcome.quarantine),
+                    degraded=outcome.degraded,
+                    replayed=replayed,
                 )
         with service._lock:
             canonicalize_ledger(service.records, mark)

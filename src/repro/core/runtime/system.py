@@ -119,6 +119,9 @@ class LinguaManga:
         inputs: dict[str, Any] | None = None,
         workers: int | None = None,
         chunk_size: int | None = None,
+        checkpoint_path: "str | Any | None" = None,
+        resume: bool = True,
+        checkpoint: "Any | None" = None,
     ) -> RunReport:
         """Compile and execute in one step.
 
@@ -126,10 +129,36 @@ class LinguaManga:
         :meth:`repro.core.compiler.plan.PhysicalPlan.execute`): record
         chunks of each operator run on a bounded thread pool with
         deterministic merge order.  ``None`` keeps sequential execution.
+
+        ``checkpoint_path`` makes the run crash-safe: execution keeps a
+        write-ahead journal beside the cache journal, and re-running with
+        the same path after a crash replays the completed prefix at zero
+        provider cost, producing a report byte-identical to an
+        uninterrupted run.  ``resume=False`` discards any journal at the
+        path and starts fresh.  Pass a preconfigured
+        :class:`~repro.core.runtime.checkpoint.RunCheckpoint` via
+        ``checkpoint=`` instead for crash injection or custom fsync
+        batching.  Checkpointed runs default to ``workers=1`` (chunked
+        execution is what the journal records).
         """
-        return self.compile(pipeline).execute(
-            inputs, workers=workers, chunk_size=chunk_size
-        )
+        if checkpoint is not None and checkpoint_path is not None:
+            raise ValueError("pass checkpoint= or checkpoint_path=, not both")
+        if checkpoint is None and checkpoint_path is not None:
+            from repro.core.runtime.checkpoint import RunCheckpoint
+
+            checkpoint = RunCheckpoint(checkpoint_path, resume=resume)
+        if checkpoint is not None and workers is None:
+            workers = 1
+        try:
+            return self.compile(pipeline).execute(
+                inputs,
+                workers=workers,
+                chunk_size=chunk_size,
+                checkpoint=checkpoint,
+            )
+        finally:
+            if checkpoint is not None:
+                checkpoint.close()
 
     # -- data and services ---------------------------------------------------------------
 

@@ -30,6 +30,7 @@ Provenance strings (``provider`` / ``cache-exact`` / ``cache-near`` /
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 import threading
@@ -48,6 +49,7 @@ __all__ = [
     "PROVENANCE_CACHE_NEAR",
     "PROVENANCE_DISTILLED",
     "CacheKey",
+    "key_digest",
     "CacheStats",
     "CacheJournal",
     "NearDuplicateIndex",
@@ -76,6 +78,21 @@ class CacheKey:
     version: str
     prompt: str
     max_tokens: int
+
+
+def key_digest(key: CacheKey) -> str:
+    """Short stable digest of a cache key (checkpoint cache fingerprints).
+
+    The checkpoint header records the digests of the cache state at run
+    start instead of the entries themselves, so resume can reconcile a
+    journal polluted by the crashed run's own appends without shipping
+    prompt text around.
+    """
+    payload = json.dumps(
+        [key.provider, key.version, key.prompt, key.max_tokens],
+        ensure_ascii=False,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass
@@ -156,10 +173,44 @@ class CacheJournal:
         self.path = Path(path)
         self.corrupt_lines = 0
         self.lines_appended = 0
+        #: optional callable invoked at named internal boundaries
+        #: (``compaction:tmp-written``); the crash-injection harness arms a
+        #: :class:`repro.llm.faults.CrashPoint` here to simulate process
+        #: death in the middle of a compaction.
+        self.crash_hook = None
+
+    @property
+    def _compact_tmp(self) -> Path:
+        return self.path.with_suffix(self.path.suffix + ".compact")
+
+    def recover(self) -> str | None:
+        """Repair the on-disk state after a crash mid-compaction.
+
+        A compaction writes the live entries to a ``.compact`` sibling and
+        then atomically renames it over the journal.  Process death between
+        the two steps leaves *both* files on disk.  Recovery is
+        conservative: when the main journal still exists it is authoritative
+        (it is a superset of the tmp's live entries, so replaying it loses
+        nothing) and the orphaned tmp is deleted; when only the tmp exists
+        the rename is completed.  Returns the action taken, if any.
+        """
+        tmp = self._compact_tmp
+        if not tmp.exists():
+            return None
+        if self.path.exists():
+            tmp.unlink()
+            return "dropped-orphan-tmp"
+        tmp.replace(self.path)
+        return "promoted-tmp"
 
     def load(self) -> list[tuple[CacheKey, LLMResponse]]:
-        """Replay the journal; later lines for the same key win."""
+        """Replay the journal; later lines for the same key win.
+
+        Runs :meth:`recover` first, so a journal left mid-compaction by a
+        crash loads cleanly instead of silently shadowing the tmp file.
+        """
         self.corrupt_lines = 0
+        self.recover()
         if not self.path.exists():
             return []
         entries: "OrderedDict[CacheKey, LLMResponse]" = OrderedDict()
@@ -187,12 +238,15 @@ class CacheJournal:
     def compact(self, entries: Iterable[tuple[CacheKey, LLMResponse]]) -> int:
         """Rewrite the journal from ``entries``; returns lines written."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_suffix(self.path.suffix + ".compact")
+        tmp = self._compact_tmp
         count = 0
         with tmp.open("w", encoding="utf-8") as handle:
             for key, response in entries:
                 handle.write(_encode_entry(key, response) + "\n")
                 count += 1
+            handle.flush()
+        if self.crash_hook is not None:
+            self.crash_hook("compaction:tmp-written")
         tmp.replace(self.path)
         self.lines_appended = 0
         return count
@@ -225,6 +279,10 @@ class NearDuplicateIndex:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def keys(self) -> list[CacheKey]:
+        """The cache keys of the sealed snapshot, in insertion order."""
+        return [key for key, _, _, _, _ in self._entries]
 
     @staticmethod
     def _scope(key: CacheKey) -> tuple[str, str, int]:
@@ -445,6 +503,51 @@ class PromptCache:
         with self._lock:
             self._near.build(self._entries.items())
             return len(self._near)
+
+    # -- checkpoint support -----------------------------------------------------
+
+    def state_digests(self) -> tuple[list[str], list[str]]:
+        """``(exact, sealed)`` digest lists describing the current state.
+
+        ``exact`` fingerprints the live exact-tier entries, ``sealed`` the
+        tier-2 snapshot.  Recorded in a run checkpoint's header so resume
+        can rebuild exactly this state via :meth:`restore_state`.
+        """
+        with self._lock:
+            exact = sorted(key_digest(key) for key in self._entries)
+            sealed = sorted(key_digest(key) for key in self._near.keys())
+        return exact, sealed
+
+    def restore_state(self, exact: Iterable[str], sealed: Iterable[str]) -> int:
+        """Reconcile the cache back to a recorded :meth:`state_digests`.
+
+        A crashed checkpointed run keeps appending to the cache journal
+        right up to the kill, so a resume loads *more* entries than the
+        original run had at its start — and serving those early would make
+        the resumed report cheaper than the uninterrupted one instead of
+        byte-identical.  This drops exact entries outside the recorded
+        ``exact`` set and re-seals the near-duplicate snapshot from the
+        subset recorded in ``sealed``.  Returns the number of entries
+        dropped.  The journal file is left untouched (dropped entries stay
+        replayable for later runs); only the in-memory state rewinds.
+        """
+        exact_set, sealed_set = set(exact), set(sealed)
+        with self._lock:
+            dropped = 0
+            for key in list(self._entries):
+                if key_digest(key) not in exact_set:
+                    del self._entries[key]
+                    dropped += 1
+            self._near.build(
+                [
+                    (key, response)
+                    for key, response in self._entries.items()
+                    if key_digest(key) in sealed_set
+                ]
+            )
+            if self.metrics is not None:
+                self.metrics.gauge("cache.entries").set(len(self._entries))
+        return dropped
 
     # -- maintenance ----------------------------------------------------------------
 

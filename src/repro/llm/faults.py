@@ -21,7 +21,66 @@ from repro.llm.errors import ProviderError, RateLimitError
 from repro.llm.providers import LLMProvider, LLMRequest, LLMResponse
 from repro.resilience.clock import VirtualClock
 
-__all__ = ["FaultKind", "FaultSpec", "ChaosProvider"]
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "ChaosProvider",
+    "CrashInjected",
+    "CrashPoint",
+]
+
+
+class CrashInjected(BaseException):
+    """Simulated process death raised by a :class:`CrashPoint`.
+
+    Derives from :class:`BaseException` deliberately: the resilience layer
+    and the record-quarantine machinery catch ``Exception`` broadly, and a
+    crash must never be absorbed as one more recoverable record failure —
+    a real ``kill -9`` would not be.
+    """
+
+    def __init__(self, boundary: str, hit: int):
+        super().__init__(f"injected crash at boundary {boundary!r} (hit {hit})")
+        self.boundary = boundary
+        self.hit = hit
+
+
+class CrashPoint:
+    """Kill execution the Nth time a named boundary is reached.
+
+    The checkpoint runtime (:mod:`repro.core.runtime.checkpoint`) announces
+    named execution boundaries — ``chunk:entered``, ``chunk:executed``,
+    ``chunk:journaled``, ``operator:committed`` — and the cache journal
+    announces ``compaction:tmp-written``.  A crash point armed on one of
+    them raises :class:`CrashInjected` on its ``hits``-th arrival, which
+    unwinds the run exactly as process death would: whatever the write-ahead
+    journal durably holds is all a resume gets to see.
+
+    Thread safe: boundaries are reached from scheduler worker threads.
+    ``fired`` records whether the crash actually triggered (a probe run
+    with ``hits`` beyond the boundary count leaves it false) and ``seen``
+    counts arrivals per boundary name, which is how the crash-matrix tests
+    enumerate "every chunk boundary" before killing at each one.
+    """
+
+    def __init__(self, boundary: str, hits: int = 1):
+        if hits < 1:
+            raise ValueError("hits must be at least 1")
+        self.boundary = boundary
+        self.hits = hits
+        self.fired = False
+        self.seen: Counter[str] = Counter()
+        self._lock = threading.Lock()
+
+    def reached(self, boundary: str) -> None:
+        """Announce one boundary arrival; raises when the armed hit lands."""
+        with self._lock:
+            self.seen[boundary] += 1
+            if boundary != self.boundary or self.fired:
+                return
+            if self.seen[boundary] == self.hits:
+                self.fired = True
+                raise CrashInjected(boundary, self.hits)
 
 
 class FaultKind:
@@ -146,6 +205,32 @@ class ChaosProvider(LLMProvider):
             ]
             preview.append(fired)
         return preview
+
+    def fault_state(self) -> dict:
+        """Snapshot of the mutable fault-decision state (JSON-safe).
+
+        The checkpoint runtime records this at operator commit boundaries:
+        content-keyed fault decisions depend on each prompt's attempt
+        counter, so a resumed run must restore the counters or incomplete
+        prompts would re-draw their fault schedules from attempt one.
+        """
+        with self._lock:
+            return {
+                "calls": self.calls,
+                "attempts": dict(self._attempts),
+                "injected": dict(self.injected),
+            }
+
+    def restore_fault_state(self, state: dict) -> None:
+        """Restore a :meth:`fault_state` snapshot (checkpoint resume)."""
+        with self._lock:
+            self.calls = int(state.get("calls", 0))
+            self._attempts = Counter(
+                {str(k): int(v) for k, v in state.get("attempts", {}).items()}
+            )
+            self.injected = Counter(
+                {str(k): int(v) for k, v in state.get("injected", {}).items()}
+            )
 
     def _decision_key(self, request: LLMRequest) -> tuple[object, ...]:
         """The stable-hash parts that decide this call's faults."""

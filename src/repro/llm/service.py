@@ -80,7 +80,13 @@ _NO_VERSION = ""  # default prompt-template version tag
 
 @dataclass(frozen=True)
 class CallRecord:
-    """One ledger entry: a completed *or failed* request."""
+    """One ledger entry: a completed *or failed* request.
+
+    ``max_tokens``/``version``/``model`` exist so a journaled record is
+    self-contained: the checkpoint runtime rebuilds the versioned cache key
+    and the cached :class:`LLMResponse` from the record alone when a
+    resumed run re-warms the exact tier (:meth:`LLMService.restore_from_records`).
+    """
 
     prompt: str
     response_text: str
@@ -94,6 +100,9 @@ class CallRecord:
     retries: int = 0
     outcome: str = OUTCOME_SERVED
     provenance: str = PROVENANCE_PROVIDER
+    max_tokens: int = 256
+    version: str = _NO_VERSION
+    model: str = ""
 
     @property
     def succeeded(self) -> bool:
@@ -374,7 +383,12 @@ class LLMService:
             if cached is not None:
                 self._record(
                     self._cached_record(
-                        cached, prompt, purpose, provenance=PROVENANCE_CACHE_EXACT
+                        cached,
+                        prompt,
+                        purpose,
+                        provenance=PROVENANCE_CACHE_EXACT,
+                        max_tokens=max_tokens,
+                        version=version,
                     )
                 )
                 return cached.text
@@ -395,7 +409,12 @@ class LLMService:
                 response, _score = near
                 self._record(
                     self._cached_record(
-                        response, prompt, purpose, provenance=PROVENANCE_CACHE_NEAR
+                        response,
+                        prompt,
+                        purpose,
+                        provenance=PROVENANCE_CACHE_NEAR,
+                        max_tokens=max_tokens,
+                        version=version,
                     )
                 )
                 self._cache_put(cache_key, response, epoch)
@@ -413,6 +432,8 @@ class LLMService:
         prompt: str,
         purpose: str,
         provenance: str = PROVENANCE_CACHE_EXACT,
+        max_tokens: int = 256,
+        version: str = _NO_VERSION,
     ) -> CallRecord:
         return CallRecord(
             prompt=prompt,
@@ -426,6 +447,9 @@ class LLMService:
             latency_seconds=0.0,
             outcome=OUTCOME_CACHED,
             provenance=provenance,
+            max_tokens=max_tokens,
+            version=version,
+            model=response.model,
         )
 
     def _cache_put(self, key: CacheKey, response: LLMResponse, epoch: int) -> None:
@@ -465,6 +489,9 @@ class LLMService:
                 latency_seconds=response.latency_seconds,
                 retries=retries,
                 outcome=outcome,
+                max_tokens=max_tokens,
+                version=version,
+                model=response.model,
             )
         )
         if self.cache_enabled:
@@ -541,6 +568,9 @@ class LLMService:
                             latency_seconds=response.latency_seconds,
                             retries=retries,
                             outcome=outcome,
+                            max_tokens=max_tokens,
+                            version=version,
+                            model=response.model,
                         )
                     )
                     self._cache_put(key, response, epoch)
@@ -623,6 +653,44 @@ class LLMService:
                 provenance=PROVENANCE_DISTILLED,
             )
         )
+
+    def restore_from_records(self, records: Iterable[CallRecord]) -> int:
+        """Re-warm the exact cache tier from replayed ledger records.
+
+        The checkpoint runtime calls this before re-executing any live
+        chunk: every answer a completed chunk *paid for* (provider calls,
+        including retried/fallback ones) or *promoted* (near-duplicate
+        donors) must be back in the exact tier first, or a live chunk that
+        originally hit the cache would re-pay the provider and the resumed
+        ledger would no longer be byte-identical to an uninterrupted run.
+
+        Exact-tier hits are deliberately skipped: their backing entry is
+        restored by whichever provider/near record originally created it,
+        and re-inserting from a hit would also resurrect entries that
+        predate the run.  Returns the number of entries inserted.
+        """
+        if not self.cache_enabled:
+            return 0
+        inserted = 0
+        with self._lock:
+            epoch = self._cache_epoch
+        for record in records:
+            if not record.succeeded:
+                continue
+            if record.cached and record.provenance != PROVENANCE_CACHE_NEAR:
+                continue
+            response = LLMResponse(
+                text=record.response_text,
+                prompt_tokens=record.prompt_tokens,
+                completion_tokens=record.completion_tokens,
+                model=record.model,
+                skill=record.skill,
+                latency_seconds=record.latency_seconds,
+            )
+            key = self._cache_key(record.prompt, record.max_tokens, record.version)
+            self._cache_put(key, response, epoch)
+            inserted += 1
+        return inserted
 
     def _complete_resilient(
         self, request: LLMRequest, purpose: str
@@ -717,6 +785,7 @@ class LLMService:
                 latency_seconds=0.0,
                 retries=policy.retry.max_retries if last_error is not None else 0,
                 outcome=outcome,
+                max_tokens=request.max_tokens,
             )
         )
         if outcome == OUTCOME_CIRCUIT_OPEN:

@@ -67,6 +67,9 @@ def run_lingua_manga_er(
     workers: int | None = None,
     distill: bool = False,
     distill_config: dict | None = None,
+    checkpoint_path: str | None = None,
+    resume: bool = True,
+    checkpoint: Any = None,
 ) -> ERResult:
     """Instantiate the ER template, run it on the test split, score F1.
 
@@ -74,7 +77,8 @@ def run_lingua_manga_er(
     are identical at any worker count (see the determinism test suite).
     ``distill=True`` attaches the optimizer's distillation router to the
     matcher so high-confidence pairs are answered by a shadow-trained
-    local classifier instead of the provider.
+    local classifier instead of the provider.  ``checkpoint_path`` makes
+    the run crash-safe and resumable (see :meth:`LinguaManga.run`).
     """
     examples = pick_examples(dataset.train, n_examples)
     pipeline = get_template("entity_resolution").instantiate(
@@ -82,7 +86,12 @@ def run_lingua_manga_er(
     )
     before = system.usage()
     report = system.run(
-        pipeline, {"pairs": pairs_as_inputs(dataset.test)}, workers=workers
+        pipeline,
+        {"pairs": pairs_as_inputs(dataset.test)},
+        workers=workers,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
+        checkpoint=checkpoint,
     )
     after = system.usage()
     verdicts = next(iter(report.outputs.values()))

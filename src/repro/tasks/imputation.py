@@ -68,8 +68,15 @@ def run_llm_imputation(
     system: LinguaManga,
     records: list[ImputationRecord],
     workers: int | None = None,
+    checkpoint_path: str | None = None,
+    resume: bool = True,
+    checkpoint: Any = None,
 ) -> ImputationResult:
-    """Pure LLM-module pipeline: one (validated) prompt per record."""
+    """Pure LLM-module pipeline: one (validated) prompt per record.
+
+    ``checkpoint_path`` makes the run crash-safe and resumable (see
+    :meth:`LinguaManga.run`).
+    """
     pipeline = (
         PipelineBuilder("imputation_pure_llm", "LLM module for every record")
         .load(source="records")
@@ -79,7 +86,12 @@ def run_llm_imputation(
     )
     before = system.usage()
     report = system.run(
-        pipeline, {"records": [r.visible() for r in records]}, workers=workers
+        pipeline,
+        {"records": [r.visible() for r in records]},
+        workers=workers,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
+        checkpoint=checkpoint,
     )
     after = system.usage()
     return _score(
@@ -97,17 +109,27 @@ def run_hybrid_imputation(
     system: LinguaManga,
     records: list[ImputationRecord],
     workers: int | None = None,
+    checkpoint_path: str | None = None,
+    resume: bool = True,
+    checkpoint: Any = None,
 ) -> ImputationResult:
     """The expert template: LLMGC rules + LLM escalation (Figure 4).
 
     ``workers`` is accepted for API symmetry with the other task runners;
     the LLMGC stage is not parallel-safe (self-repairing codegen), so the
     scheduler runs it whole-input sequentially either way.
+    ``checkpoint_path`` makes the run crash-safe and resumable (see
+    :meth:`LinguaManga.run`).
     """
     pipeline = get_template("data_imputation").instantiate()
     before = system.usage()
     report = system.run(
-        pipeline, {"records": [r.visible() for r in records]}, workers=workers
+        pipeline,
+        {"records": [r.visible() for r in records]},
+        workers=workers,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
+        checkpoint=checkpoint,
     )
     after = system.usage()
     return _score(

@@ -62,8 +62,15 @@ def run_name_extraction(
     simulate_tagging: bool = False,
     variant: str | None = None,
     workers: int | None = None,
+    checkpoint_path: str | None = None,
+    resume: bool = True,
+    checkpoint: Any = None,
 ) -> NameExtractionResult:
-    """Run the Figure 3 template over ``documents`` and score it."""
+    """Run the Figure 3 template over ``documents`` and score it.
+
+    ``checkpoint_path`` makes the run crash-safe and resumable (see
+    :meth:`LinguaManga.run`).
+    """
     pipeline = get_template("name_extraction").instantiate(
         multilingual=multilingual, simulate_tagging=simulate_tagging
     )
@@ -72,6 +79,9 @@ def run_name_extraction(
         pipeline,
         {"documents": [{"text": d.text} for d in documents]},
         workers=workers,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
+        checkpoint=checkpoint,
     )
     after = system.usage()
     enriched = next(iter(report.outputs.values()))

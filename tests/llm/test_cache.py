@@ -252,3 +252,74 @@ class TestServiceCacheLifecycle:
         service.reset_usage()
         assert len(service.cache) == 1
         assert service.usage().total_calls == 0
+
+
+class TestCompactionCrashRecovery:
+    """A kill between compaction's tmp-write and its atomic rename must
+    never lose acknowledged entries: recover() reconciles the two files."""
+
+    def _crashing_journal(self, path):
+        from repro.llm.faults import CrashInjected, CrashPoint
+
+        journal = CacheJournal(path)
+        journal.append(key("a"), response("a"))
+        journal.append(key("b"), response("b"))
+        crash = CrashPoint("compaction:tmp-written")
+        journal.crash_hook = crash.reached
+        with pytest.raises(CrashInjected):
+            journal.compact([(key("b"), response("b"))])
+        assert crash.fired
+        return journal
+
+    def test_crash_mid_compaction_leaves_both_files(self, tmp_path):
+        journal = self._crashing_journal(tmp_path / "cache.jsonl")
+        assert journal.path.exists()
+        assert journal._compact_tmp.exists()
+
+    def test_recover_prefers_the_uncompacted_journal(self, tmp_path):
+        # The main journal is a superset of the tmp's live entries, so
+        # keeping it loses nothing; the orphaned tmp is dropped.
+        journal = self._crashing_journal(tmp_path / "cache.jsonl")
+        fresh = CacheJournal(journal.path)
+        assert fresh.recover() == "dropped-orphan-tmp"
+        assert not fresh._compact_tmp.exists()
+        assert [k for k, _ in fresh.load()] == [key("a"), key("b")]
+
+    def test_load_runs_recovery_implicitly(self, tmp_path):
+        journal = self._crashing_journal(tmp_path / "cache.jsonl")
+        entries = CacheJournal(journal.path).load()
+        assert [k for k, _ in entries] == [key("a"), key("b")]
+        assert not journal._compact_tmp.exists()
+
+    def test_recover_promotes_tmp_when_rename_was_interrupted(self, tmp_path):
+        # Simulate death *during* the rename's visible effect: the main
+        # journal is gone but the fully written tmp survives.
+        journal = self._crashing_journal(tmp_path / "cache.jsonl")
+        journal.path.unlink()
+        fresh = CacheJournal(journal.path)
+        assert fresh.recover() == "promoted-tmp"
+        assert fresh.path.exists()
+        assert not fresh._compact_tmp.exists()
+        assert [k for k, _ in fresh.load()] == [key("b")]
+
+    def test_recover_is_a_noop_without_leftovers(self, tmp_path):
+        journal = CacheJournal(tmp_path / "cache.jsonl")
+        journal.append(key("a"), response("a"))
+        assert journal.recover() is None
+
+    def test_warm_start_after_mid_compaction_crash(self, tmp_path):
+        # End to end: a PromptCache constructed over the crashed journal
+        # warm-starts with every acknowledged answer intact.
+        journal = self._crashing_journal(tmp_path / "cache.jsonl")
+        cache = PromptCache(path=journal.path)
+        assert cache.stats.loaded == 2
+        assert cache.get(key("a")).text == "a"
+        assert cache.get(key("b")).text == "b"
+
+    def test_interrupted_compaction_can_rerun_cleanly(self, tmp_path):
+        journal = self._crashing_journal(tmp_path / "cache.jsonl")
+        fresh = CacheJournal(journal.path)
+        live = fresh.load()
+        assert fresh.compact(live) == 2  # no crash hook armed this time
+        assert not fresh._compact_tmp.exists()
+        assert [k for k, _ in fresh.load()] == [key("a"), key("b")]

@@ -19,6 +19,7 @@ from repro.llm.faults import ChaosProvider, FaultKind, FaultSpec
 from repro.llm.providers import SimulatedProvider
 from repro.llm.service import LLMService
 from repro.tasks.entity_resolution import pairs_as_inputs, pick_examples
+from tests.conftest import assert_reports_identical
 
 WORKER_COUNTS = (1, 2, 8)
 
@@ -66,17 +67,17 @@ def _run_chaos(dataset, workers: int, rate: float) -> "tuple[str, object]":
 class TestCleanDeterminism:
     def test_byte_identical_across_worker_counts(self, dataset):
         reports = [_run_clean(dataset, workers) for workers in WORKER_COUNTS]
-        assert reports[0] == reports[1] == reports[2]
+        assert_reports_identical(*reports)
 
     def test_byte_identical_on_repeat(self, dataset):
-        assert _run_clean(dataset, 8) == _run_clean(dataset, 8)
+        assert_reports_identical(_run_clean(dataset, 8), _run_clean(dataset, 8))
 
     def test_chunk_size_is_part_of_the_run_shape(self, dataset):
         # Different chunk sizes are allowed to differ (they change batch
         # prime groups); the same chunk size must not.
-        a = _run_clean(dataset, 2, chunk_size=3)
-        b = _run_clean(dataset, 8, chunk_size=3)
-        assert a == b
+        assert_reports_identical(
+            _run_clean(dataset, 2, chunk_size=3), _run_clean(dataset, 8, chunk_size=3)
+        )
 
     def test_parallel_matches_sequential_results(self, dataset):
         """Outputs/quarantine/cost match the legacy path; only ledger
@@ -97,7 +98,7 @@ class TestChaosDeterminism:
     @pytest.mark.parametrize("rate", [0.35, 0.7])
     def test_byte_identical_under_faults(self, dataset, rate):
         reports = [_run_chaos(dataset, workers, rate)[0] for workers in WORKER_COUNTS]
-        assert reports[0] == reports[1] == reports[2]
+        assert_reports_identical(*reports)
 
     def test_heavy_chaos_actually_quarantines(self, dataset):
         _, report = _run_chaos(dataset, 8, rate=0.7)

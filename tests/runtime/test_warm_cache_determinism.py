@@ -17,6 +17,7 @@ from repro.core.runtime.system import LinguaManga
 from repro.core.templates.library import get_template
 from repro.datasets.entity_resolution import generate_er_dataset
 from repro.tasks.entity_resolution import pairs_as_inputs, pick_examples
+from tests.conftest import assert_reports_identical
 
 WORKER_COUNTS = (1, 2, 8)
 
@@ -47,18 +48,17 @@ def runs(dataset, tmp_path_factory) -> dict:
 
 class TestWarmCacheDeterminism:
     def test_warm_runs_byte_identical_across_worker_counts(self, runs):
-        reports = [runs["warm"][workers] for workers in WORKER_COUNTS]
-        assert reports[0] == reports[1] == reports[2]
+        assert_reports_identical(*(runs["warm"][workers] for workers in WORKER_COUNTS))
 
     def test_warm_differs_from_cold_only_in_cost_fields(self, runs):
-        cold = json.loads(runs["cold"])
-        warm = json.loads(runs["warm"][1])
-        cold_cost, warm_cost = cold.pop("cost"), warm.pop("cost")
         # The profile is a declared cost field too: it carries the
         # provider/cache split, which legitimately flips on a warm run.
-        cold.pop("profile")
-        warm_profile = warm.pop("profile")
-        assert cold == warm  # outputs, quarantine, module stats: identical
+        assert_reports_identical(
+            runs["cold"], runs["warm"][1], ignore=("cost", "profile")
+        )
+        warm_cost = json.loads(runs["warm"][1])["cost"]
+        cold_cost = json.loads(runs["cold"])["cost"]
+        warm_profile = json.loads(runs["warm"][1])["profile"]
         assert warm_cost["served_calls"] == 0
         assert warm_cost["cost"] == 0.0
         assert warm_cost["cached_calls"] > cold_cost["served_calls"] * 0.5
@@ -68,4 +68,6 @@ class TestWarmCacheDeterminism:
     def test_warm_repeat_is_byte_identical(self, dataset, tmp_path):
         journal = tmp_path / "cache.jsonl"
         _run(dataset, journal, workers=2)  # cold seeding run
-        assert _run(dataset, journal, workers=2) == _run(dataset, journal, workers=8)
+        assert_reports_identical(
+            _run(dataset, journal, workers=2), _run(dataset, journal, workers=8)
+        )
