@@ -93,6 +93,12 @@ class RunReport:
     quarantine: list[QuarantinedRecord] = field(default_factory=list)
     resilience: dict[str, OperatorResilience] = field(default_factory=dict)
     profile: RunProfile | None = None
+    #: Operational recovery counters (checkpoint replay, torn tails, lease
+    #: churn).  Deliberately **excluded** from :meth:`canonical_dict`: a
+    #: resumed run must produce a byte-identical canonical report, and these
+    #: counters are exactly what differs between the crashed and the
+    #: uninterrupted execution.
+    recovery: dict[str, Any] | None = None
 
     def to_text(self) -> str:
         """Readable execution summary."""
@@ -110,6 +116,13 @@ class RunReport:
             lines.append("  profile:")
             for row_line in self.profile.to_table().splitlines():
                 lines.append(f"    {row_line}")
+        if self.recovery:
+            interesting = {k: v for k, v in self.recovery.items() if v}
+            if interesting:
+                rendered = ", ".join(
+                    f"{key}={value}" for key, value in sorted(interesting.items())
+                )
+                lines.append(f"  recovery: {rendered}")
         return "\n".join(lines)
 
     def canonical_dict(self) -> dict[str, Any]:
@@ -420,6 +433,18 @@ class PhysicalPlan:
         report.partial = bool(report.quarantine)
         report.cost = tracker.snapshot
         report.profile = profile
+        if checkpoint is not None:
+            stats = checkpoint.stats
+            report.recovery = {
+                "mode": "checkpoint",
+                "resumed": stats.resumed,
+                "replayed_operators": stats.replayed_operators,
+                "replayed_chunks": stats.replayed_chunks,
+                "journaled_chunks": stats.journaled_chunks,
+                "replayed_records": stats.replayed_records,
+                "cache_entries_pruned": stats.cache_entries_pruned,
+                "torn_bytes": stats.torn_bytes,
+            }
         for sink in self.pipeline.sinks():
             report.outputs[sink.name] = values[sink.name]
         for binding in self.bound:

@@ -1,4 +1,4 @@
-"""Runtime facade: system object, concurrent scheduler, run checkpoints."""
+"""Runtime facade: system, scheduler, checkpoints, streaming work queue."""
 
 from repro.core.runtime.checkpoint import (
     CheckpointError,
@@ -8,6 +8,14 @@ from repro.core.runtime.checkpoint import (
 )
 from repro.core.runtime.scheduler import Scheduler
 from repro.core.runtime.system import LinguaManga
+from repro.core.runtime.workqueue import (
+    Lease,
+    PoisonInfo,
+    ShardLedger,
+    StreamingExecutor,
+    StreamingPlanError,
+    WorkQueue,
+)
 
 __all__ = [
     "LinguaManga",
@@ -16,4 +24,10 @@ __all__ = [
     "CheckpointJournal",
     "CheckpointError",
     "CheckpointMismatchError",
+    "ShardLedger",
+    "WorkQueue",
+    "Lease",
+    "PoisonInfo",
+    "StreamingExecutor",
+    "StreamingPlanError",
 ]

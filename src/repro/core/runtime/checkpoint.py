@@ -753,6 +753,17 @@ class RunCheckpoint:
             self.journal.delete()
         lines = self.journal.load()
         self.stats.torn_bytes = self.journal.torn_bytes
+        if self.stats.torn_bytes:
+            # Imported lazily: workqueue imports this module.
+            from repro.core.runtime.workqueue import emit_torn_tail
+
+            emit_torn_tail(
+                getattr(service, "obs", None),
+                service.clock,
+                self.path,
+                self.stats.torn_bytes,
+                "checkpoint",
+            )
         if lines:
             header = lines[0]
             if header.get("type") != "header":

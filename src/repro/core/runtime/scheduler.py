@@ -43,6 +43,8 @@ from repro.resilience.clock import VirtualClock
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "partition",
+    "iter_chunks",
+    "resolve_chunk_size",
     "tree_parallel_safe",
     "canonicalize_ledger",
     "Scheduler",
@@ -69,6 +71,41 @@ def partition(values: Sequence[Any], chunk_size: int) -> list[list[Any]]:
         list(values[start : start + chunk_size])
         for start in range(0, len(values), chunk_size)
     ]
+
+
+def iter_chunks(values, chunk_size: int):
+    """Lazily chunk any iterable: the streaming analogue of :func:`partition`.
+
+    Pulls at most ``chunk_size`` records ahead of the consumer, so an
+    out-of-core source (a generator over millions of records) is never
+    materialized.  Chunk boundaries depend only on ``chunk_size``, exactly
+    as :func:`partition`'s do.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    chunk: list[Any] = []
+    for value in values:
+        chunk.append(value)
+        if len(chunk) >= chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def resolve_chunk_size(module: Module, chunk_size: int | None = None) -> int:
+    """The chunk size one operator actually runs with.
+
+    Shared by the batch scheduler and the streaming executor so both
+    engines cut identical shard boundaries: an explicit ``chunk_size``
+    wins, then the module's ``preferred_chunk_size``, then
+    :data:`DEFAULT_CHUNK_SIZE`.
+    """
+    if chunk_size is not None:
+        return chunk_size
+    if module.preferred_chunk_size is not None:
+        return module.preferred_chunk_size
+    return DEFAULT_CHUNK_SIZE
 
 
 def tree_parallel_safe(module: Module) -> bool:
@@ -154,11 +191,7 @@ class Scheduler:
         self.chunk_size = chunk_size
 
     def _chunk_size_for(self, module: Module) -> int:
-        if self.chunk_size is not None:
-            return self.chunk_size
-        if module.preferred_chunk_size is not None:
-            return module.preferred_chunk_size
-        return DEFAULT_CHUNK_SIZE
+        return resolve_chunk_size(module, self.chunk_size)
 
     def should_chunk(self, module: Module, value: Any) -> bool:
         """Whether ``value`` can be split for ``module``."""

@@ -160,6 +160,96 @@ class LinguaManga:
             if checkpoint is not None:
                 checkpoint.close()
 
+    def run_stream(
+        self,
+        pipeline: Pipeline,
+        inputs: Any = None,
+        *,
+        workers: int = 1,
+        chunk_size: int | None = None,
+        window: int | None = None,
+        ledger_path: "str | Any | None" = None,
+        resume: bool = True,
+        ledger: "Any | None" = None,
+        sink: "Any | None" = None,
+        source_id: str = "",
+        max_attempts: int = 3,
+        spill_dir: "str | Any | None" = None,
+        spill_budget_bytes: int | None = None,
+        lease_timeout: float = 300.0,
+        crash: "Any | None" = None,
+        kill: "Any | None" = None,
+        lease_fault: "Any | None" = None,
+        spill_fault: "Any | None" = None,
+    ) -> RunReport:
+        """Compile and execute as a memory-bounded stream.
+
+        The out-of-core counterpart to :meth:`run`: ``inputs`` may be any
+        iterable (a generator over millions of records is never
+        materialized), the pipeline's chunk-capable core pulls fixed-size
+        shards from a durable work queue, and peak memory stays
+        O(chunk_size x window) regardless of dataset size.  Requires a
+        linear pipeline with a chunk-capable, parallel-safe core (see
+        :class:`~repro.core.runtime.workqueue.StreamingExecutor`).
+
+        ``ledger_path`` makes the run crash-safe shard by shard: every
+        completed shard is journalled write-ahead, a failed shard retries
+        with jittered backoff and is quarantined as poison after
+        ``max_attempts`` (reported, never fatal), and re-running with the
+        same path resumes at the shard frontier with a byte-identical
+        report.  Without it a temporary ledger is used and removed on
+        success.  ``source_id`` should carry the input source's own stable
+        fingerprint (e.g. ``StreamingERCorpus.fingerprint``) so a resumed
+        ledger cannot silently pair with a different source.
+
+        ``sink`` streams outputs out instead of collecting them: a callable
+        receiving each shard's output list in shard order; the report then
+        carries ``{"records", "sha256"}`` instead of the output list, and
+        every operator after the streamed core must be a pass-through save.
+
+        ``crash`` / ``kill`` / ``lease_fault`` / ``spill_fault`` are chaos
+        hooks (:mod:`repro.llm.faults`) for the crash-resume test matrix.
+        """
+        import tempfile
+        from pathlib import Path
+
+        from repro.core.runtime.workqueue import ShardLedger, StreamingExecutor
+
+        if ledger is not None and ledger_path is not None:
+            raise ValueError("pass ledger= or ledger_path=, not both")
+        ephemeral = False
+        if ledger is None:
+            if ledger_path is None:
+                ledger_path = (
+                    Path(tempfile.mkdtemp(prefix="repro-stream-")) / "ledger.jsonl"
+                )
+                ephemeral = True
+            ledger = ShardLedger(ledger_path, resume=resume)
+        executor = StreamingExecutor(
+            self.compile(pipeline),
+            ledger=ledger,
+            workers=workers,
+            chunk_size=chunk_size,
+            window=window,
+            max_attempts=max_attempts,
+            lease_timeout=lease_timeout,
+            sink=sink,
+            spill_dir=spill_dir,
+            spill_budget_bytes=spill_budget_bytes,
+            source_id=source_id,
+            crash=crash,
+            kill=kill,
+            lease_fault=lease_fault,
+            spill_fault=spill_fault,
+        )
+        try:
+            report = executor.execute(inputs)
+            if ephemeral:
+                ledger.delete()
+            return report
+        finally:
+            ledger.close()
+
     # -- data and services ---------------------------------------------------------------
 
     def register_table(self, table: Table, name: str | None = None) -> None:

@@ -1,0 +1,1637 @@
+"""Durable shard work-queue and pipelined streaming executor.
+
+The batch runtime (:mod:`repro.core.runtime.scheduler` +
+:mod:`repro.core.runtime.checkpoint`) materializes every operator's full
+input before chunking it, so a million-record curation run holds the whole
+dataset — and every intermediate — in memory.  This module is the
+out-of-core counterpart: datasets stay *iterators*, operators pull fixed
+size **shards** from a durable work queue and emit downstream without
+waiting for full-operator completion, and peak RSS is bounded at
+O(chunk_size x window) instead of O(dataset).
+
+Three pieces:
+
+- :class:`ShardLedger` — the write-ahead journal.  One ``shard`` line per
+  completed shard (superseding the batch runtime's linear chunk log), plus
+  ``fail`` lines for deterministic shard failures and a ``poison`` line
+  when a shard exhausts its attempt budget.  The header pins the run
+  fingerprint, the virtual clock and the prompt-cache state exactly like
+  :class:`~repro.core.runtime.checkpoint.RunCheckpoint` does.
+- :class:`WorkQueue` — the in-memory shard state machine.  Every shard is
+  a ledger entry with a **lease** (claim -> heartbeat -> complete /
+  expire): a worker that dies mid-shard loses its lease and the shard is
+  re-claimed; deterministic failures retry with jittered exponential
+  backoff on a dedicated virtual clock; a shard that keeps failing is
+  **quarantined as poison** after ``max_attempts`` — reported, never
+  aborting the run.  Backpressure: shards are materialized from the source
+  only while the in-flight window and the disk-spill budget have room.
+- :class:`StreamingExecutor` — drives a compiled
+  :class:`~repro.core.compiler.plan.PhysicalPlan` through the queue and
+  folds shard results into a normal :class:`RunReport`.
+
+Determinism contract (the streaming crash matrix pins this): a run
+crashed and resumed at any shard boundary, at any worker count, cold or
+warm cache, produces a byte-identical ``RunReport.canonical_json()``.
+The mechanics:
+
+- every per-(shard, op) scope starts at the same virtual base time, and
+  the fold advances the shared clock by each scope's elapsed time in
+  (shard, op) order — the same float addition sequence live or replayed;
+- per-shard ledger records are **not** retained (that would be O(dataset)
+  memory); instead the fold accumulates per-operator profile sums, which
+  are invariant under coalescing races and lease churn because every
+  distinct prompt contributes exactly one originating record plus its
+  exact-cache hits regardless of which shard attempt produced them;
+- an abandoned shard attempt (worker killed, lease lost after an injected
+  expiry) has its cache inserts **rolled back**
+  (:meth:`~repro.llm.service.LLMService.rollback_scope`), so the retry
+  re-serves exactly what an undisturbed run would have served.  This
+  requires that duplicate prompts not straddle shards that can race with
+  a kill — :class:`repro.datasets.streaming.StreamingERCorpus` makes
+  prompts corpus-unique for precisely this reason;
+- lease losses never count toward the poison budget; only deterministic
+  failures (the module raising) do, so the poison verdict — and the
+  quarantine section of the report — is identical under any kill or crash
+  schedule.
+
+Fault points (for :class:`~repro.llm.faults.CrashPoint` /
+:class:`~repro.llm.faults.WorkerKillPoint` /
+:class:`~repro.llm.faults.TriggerPoint`): the per-shard boundaries
+``shard:claimed``, ``shard:executed``, ``shard:journaled``; lease expiry
+injection at ``lease:granted``; spill-write failure at ``spill:write``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from repro.core.compiler.plan import (
+    OperatorResilience,
+    PhysicalPlan,
+    RunReport,
+    _add_call_spans,
+    _tree_degraded,
+)
+from repro.core.modules.base import QuarantinedRecord
+from repro.core.optimizer.cost import CostSnapshot
+from repro.core.runtime.checkpoint import (
+    CheckpointError,
+    CheckpointJournal,
+    CheckpointMismatchError,
+    DEFAULT_FSYNC_EVERY,
+    DEFAULT_FSYNC_INTERVAL,
+    ReplayedValue,
+    UnserializableValueError,
+    _decode_quarantine,
+    _decode_records,
+    _encode_quarantine,
+    _encode_records,
+    decode_value,
+    encode_value,
+    fingerprint_payload,
+)
+from repro.core.runtime.scheduler import (
+    iter_chunks,
+    resolve_chunk_size,
+    tree_parallel_safe,
+)
+from repro.llm.faults import CrashInjected, WorkerKilled
+from repro.llm.service import CallRecord, LLMService
+from repro.obs.profile import ProfileRow, RunProfile, profile_records
+from repro.resilience.clock import VirtualClock
+from repro.resilience.policy import RetryPolicy
+from repro.storage.spill import SpillStore, SpillWriteError
+
+__all__ = [
+    "SHARD_LEDGER_FORMAT_VERSION",
+    "DEFAULT_LEASE_TIMEOUT",
+    "DEFAULT_MAX_ATTEMPTS",
+    "StreamingPlanError",
+    "Lease",
+    "ShardOpReplay",
+    "ShardReplay",
+    "PoisonInfo",
+    "ShardLedgerStats",
+    "ShardLedger",
+    "WorkQueue",
+    "StreamingExecutor",
+]
+
+#: Bumped whenever the shard-ledger schema changes; resume refuses others.
+SHARD_LEDGER_FORMAT_VERSION = 1
+
+#: Virtual seconds a lease stays valid without a heartbeat.
+DEFAULT_LEASE_TIMEOUT = 300.0
+
+#: Failed executions before a shard is quarantined as poison.
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Consecutive spill-write failures tolerated before the run aborts.
+MAX_SPILL_FAILURES = 8
+
+#: Deadline sentinel for leases that must not expire (poison in progress).
+_FOREVER = float("inf")
+
+_PENDING = "pending"
+_LEASED = "leased"
+_DONE = "done"
+_POISONED = "poisoned"
+
+
+class StreamingPlanError(RuntimeError):
+    """The plan cannot run as a stream (non-linear, no chunkable core)."""
+
+
+def emit_torn_tail(obs, clock, path, torn_bytes: int, journal: str) -> None:
+    """Surface one torn-tail truncation as a metric and a trace event.
+
+    Called by both :meth:`ShardLedger.begin` and
+    :meth:`~repro.core.runtime.checkpoint.RunCheckpoint.begin` whenever a
+    journal load discarded unacknowledged trailing bytes — expected after
+    a crash mid-write, but worth counting: a torn tail on every start
+    means something else is truncating the file.
+    """
+    if obs is None or torn_bytes <= 0:
+        return
+    obs.metrics.counter("journal.torn_tails").inc()
+    obs.metrics.counter("journal.torn_bytes").inc(torn_bytes)
+    if obs.tracer.enabled:
+        obs.tracer.add_span(
+            f"torn-tail[{journal}]",
+            kind="event",
+            start=float(clock.now) if clock is not None else 0.0,
+            bytes=torn_bytes,
+            journal=journal,
+            path=str(path),
+        )
+
+
+# -- decoded ledger records ---------------------------------------------------------
+
+
+@dataclass
+class ShardOpReplay:
+    """One middle operator's journalled slice of one shard."""
+
+    name: str
+    records: list[CallRecord]
+    elapsed: float
+    quarantine: list[QuarantinedRecord]
+    degraded: int
+
+
+@dataclass
+class ShardReplay:
+    """One journalled shard, decoded for zero-cost replay."""
+
+    index: int
+    n_records: int
+    ops: list[ShardOpReplay]
+    outputs: list[Any]
+
+
+@dataclass
+class PoisonInfo:
+    """One quarantined shard: who failed, how often, on what records."""
+
+    index: int
+    n_records: int
+    attempts: int
+    op: str
+    error: str
+    records: list[Any]  # record objects live, ReplayedValue stand-ins on resume
+
+
+@dataclass
+class ShardLedgerStats:
+    """What one streaming execution replayed, journalled and repaired."""
+
+    resumed: bool = False
+    replayed_shards: int = 0
+    journaled_shards: int = 0
+    replayed_records: int = 0
+    quarantined_shards: int = 0
+    cache_entries_pruned: int = 0
+    torn_bytes: int = 0
+
+
+# -- the shard ledger ---------------------------------------------------------------
+
+
+class ShardLedger:
+    """Write-ahead shard journal: the durable half of the work queue.
+
+    JSONL with four record types:
+
+    - ``header`` — written once, durably, before any work: the streaming
+      run fingerprint, the virtual clock at begin, and the prompt-cache
+      state digests (resume rewinds the cache to them, exactly like the
+      batch checkpoint, so a crashed run's extra cache appends cannot make
+      the resumed report cheaper than the uninterrupted one).
+    - ``shard`` — one completed shard: per-operator ledger records (the
+      columnar, prefix-shared encoding shared with the batch journal),
+      per-operator virtual elapsed time, quarantine and degraded counts,
+      and the shard's final outputs.  Written *before* the queue marks the
+      lease complete, so an acknowledged completion is always resumable.
+      Duplicate lines for one index are tolerated (a lease lost after
+      journalling but before completion re-executes and re-journals);
+      the last line wins.
+    - ``fail`` — one deterministic shard failure: attempt number, the
+      operator that raised, the error text.  Resume counts a shard's fail
+      lines to carry its attempt budget across a crash; they are ignored
+      once a ``shard`` (or ``poison``) line exists for the index.
+    - ``poison`` — the quarantine verdict for a shard that exhausted its
+      attempts: reprs of its input records (all the canonical report
+      renders), the final error, written durably.  A poisoned shard is
+      never re-executed after this line commits.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        resume: bool = True,
+        fsync_every: int = DEFAULT_FSYNC_EVERY,
+        fsync_interval: float = DEFAULT_FSYNC_INTERVAL,
+    ):
+        self.journal = CheckpointJournal(
+            path, fsync_every=fsync_every, fsync_interval=fsync_interval
+        )
+        self.resume = resume
+        self.stats = ShardLedgerStats()
+        self._shards: dict[int, dict] = {}
+        self._poisons: dict[int, dict] = {}
+        self._fails: dict[int, list[dict]] = {}
+        self._began = False
+        self._lock = threading.Lock()
+
+    @property
+    def path(self) -> Path:
+        """The journal file path."""
+        return self.journal.path
+
+    def begin(self, fingerprint: str, service: LLMService) -> None:
+        """Validate (or create) the ledger before any work runs.
+
+        Mirrors :meth:`RunCheckpoint.begin`: schema/fingerprint/clock
+        validation, cache rewind to the journalled run-start state, and
+        indexing of shard/fail/poison lines for replay.  A torn tail is
+        truncated, counted in ``stats.torn_bytes`` and surfaced as a
+        metric plus an ``event`` trace span when observability is attached.
+        """
+        if self._began:
+            raise CheckpointError(
+                "a ShardLedger drives exactly one execute(); create a new "
+                "one (same path) to resume"
+            )
+        self._began = True
+        if not self.resume:
+            self.journal.delete()
+        lines = self.journal.load()
+        self.stats.torn_bytes = self.journal.torn_bytes
+        emit_torn_tail(
+            getattr(service, "obs", None),
+            service.clock,
+            self.path,
+            self.stats.torn_bytes,
+            "shard-ledger",
+        )
+        if lines:
+            header = lines[0]
+            if header.get("type") != "header":
+                raise CheckpointError(
+                    f"{self.path}: first record is {header.get('type')!r}, "
+                    "not a ledger header"
+                )
+            if header.get("format") != SHARD_LEDGER_FORMAT_VERSION:
+                raise CheckpointError(
+                    f"{self.path}: ledger format {header.get('format')!r} "
+                    f"(this build reads {SHARD_LEDGER_FORMAT_VERSION})"
+                )
+            if header.get("mode") != "streaming":
+                raise CheckpointError(
+                    f"{self.path}: journal mode {header.get('mode')!r} is "
+                    "not a streaming shard ledger"
+                )
+            if header.get("fingerprint") != fingerprint:
+                raise CheckpointMismatchError(
+                    f"{self.path}: ledger fingerprint "
+                    f"{header.get('fingerprint')!r} does not match this "
+                    f"plan/config ({fingerprint!r}); pass resume=False to "
+                    "discard it"
+                )
+            if float(header.get("clock_start", 0.0)) != service.clock.now:
+                raise CheckpointMismatchError(
+                    f"{self.path}: virtual clock at begin is "
+                    f"{service.clock.now!r}, ledger recorded "
+                    f"{header.get('clock_start')!r}"
+                )
+            if service.cache_enabled:
+                self.stats.cache_entries_pruned = service.cache.restore_state(
+                    header.get("cache_exact", []), header.get("cache_sealed", [])
+                )
+            self.stats.resumed = True
+            for line in lines[1:]:
+                kind = line.get("type")
+                if kind == "shard":
+                    self._shards[int(line["index"])] = line
+                elif kind == "poison":
+                    self._poisons[int(line["index"])] = line
+                elif kind == "fail":
+                    self._fails.setdefault(int(line["index"]), []).append(line)
+        else:
+            exact, sealed = service.cache.state_digests()
+            self.journal.append(
+                {
+                    "type": "header",
+                    "format": SHARD_LEDGER_FORMAT_VERSION,
+                    "mode": "streaming",
+                    "fingerprint": fingerprint,
+                    "clock_start": service.clock.now,
+                    "cache_exact": exact,
+                    "cache_sealed": sealed,
+                },
+                durable=True,
+            )
+
+    # -- resume-side reads ---------------------------------------------------------
+
+    def has_shard(self, index: int) -> bool:
+        """Whether a completed ``shard`` line exists for ``index``."""
+        return index in self._shards
+
+    def shard_n_records(self, index: int) -> int:
+        """Journalled input-record count of shard ``index``."""
+        return int(self._shards[index]["n_records"])
+
+    def shard_replayable(self, index: int) -> bool:
+        """Whether shard ``index``'s outputs round-tripped the journal."""
+        return bool(self._shards[index].get("replayable", False))
+
+    def max_recorded_index(self) -> int:
+        """Largest shard index any journalled line mentions (-1 if none)."""
+        indexes = [*self._shards, *self._poisons, *self._fails]
+        return max(indexes) if indexes else -1
+
+    def shard_replay(self, index: int) -> ShardReplay:
+        """Decode one journalled shard for replay."""
+        raw = self._shards[index]
+        ops = [
+            ShardOpReplay(
+                name=str(op["name"]),
+                records=_decode_records(op["records"]),
+                elapsed=float(op["elapsed"]),
+                quarantine=_decode_quarantine(op.get("quarantine", [])),
+                degraded=int(op.get("degraded", 0)),
+            )
+            for op in raw["ops"]
+        ]
+        return ShardReplay(
+            index=index,
+            n_records=int(raw["n_records"]),
+            ops=ops,
+            outputs=decode_value(raw["outputs"]),
+        )
+
+    def replayable_shard_indexes(self) -> list[int]:
+        """Indexes with replayable shard lines, ascending."""
+        return sorted(
+            index
+            for index, raw in self._shards.items()
+            if raw.get("replayable", False)
+        )
+
+    def rewarm(self, service: LLMService) -> int:
+        """Re-warm the exact cache from every replayable shard line.
+
+        Runs once, before any live shard executes, in shard/op order —
+        live shards then hit exactly what they would have hit in the
+        uninterrupted run.  Non-replayable shard lines are skipped: those
+        shards re-execute, and pre-warming them with their own answers
+        would turn their re-served calls into cache hits and break
+        byte-identical resume.  Decodes one shard at a time, so rewarm
+        itself stays memory-bounded.
+        """
+        warmed = 0
+        for index in self.replayable_shard_indexes():
+            for op in self._shards[index]["ops"]:
+                warmed += service.restore_from_records(_decode_records(op["records"]))
+        return warmed
+
+    def poison(self, index: int) -> PoisonInfo | None:
+        """The journalled quarantine verdict for ``index``, if any."""
+        raw = self._poisons.get(index)
+        if raw is None:
+            return None
+        return PoisonInfo(
+            index=index,
+            n_records=int(raw["n_records"]),
+            attempts=int(raw["attempts"]),
+            op=str(raw["op"]),
+            error=str(raw["error"]),
+            records=[ReplayedValue(text) for text in raw.get("records", [])],
+        )
+
+    def attempts(self, index: int) -> int:
+        """Attempt budget already spent on ``index`` in a prior run.
+
+        Fail lines are ignored once a shard line exists — the shard
+        eventually succeeded, so its early failures are history, not debt.
+        """
+        if index in self._shards or index in self._poisons:
+            return 0
+        return len(self._fails.get(index, []))
+
+    def last_fail(self, index: int) -> tuple[str, str]:
+        """``(op, error)`` of the highest-attempt fail line for ``index``."""
+        fails = self._fails.get(index)
+        if not fails:
+            return ("", "")
+        last = max(fails, key=lambda line: int(line.get("attempt", 0)))
+        return (str(last.get("op", "")), str(last.get("error", "")))
+
+    # -- write-ahead appends ---------------------------------------------------------
+
+    def record_shard(
+        self,
+        index: int,
+        n_records: int,
+        op_results: list[tuple[str, Any, Any]],
+        outputs: list[Any],
+    ) -> None:
+        """Journal one executed shard (write-ahead of lease completion)."""
+        try:
+            encoded = encode_value(list(outputs))
+            replayable = True
+        except UnserializableValueError:
+            encoded = None
+            replayable = False
+        self.journal.append(
+            {
+                "type": "shard",
+                "index": index,
+                "n_records": n_records,
+                "ops": [
+                    {
+                        "name": name,
+                        "records": _encode_records(scope.records),
+                        "elapsed": scope.elapsed,
+                        "quarantine": _encode_quarantine(outcome.quarantine),
+                        "degraded": outcome.degraded,
+                    }
+                    for name, scope, outcome in op_results
+                ],
+                "outputs": encoded,
+                "replayable": replayable,
+            },
+            durable=True,
+        )
+        with self._lock:
+            self.stats.journaled_shards += 1
+
+    def record_fail(self, index: int, attempt: int, op: str, error: str) -> None:
+        """Journal one deterministic shard failure (carries the budget)."""
+        self.journal.append(
+            {"type": "fail", "index": index, "attempt": attempt, "op": op,
+             "error": error}
+        )
+
+    def record_poison(self, info: PoisonInfo) -> None:
+        """Durably journal a quarantine verdict; the shard never re-runs."""
+        self.journal.append(
+            {
+                "type": "poison",
+                "index": info.index,
+                "n_records": info.n_records,
+                "attempts": info.attempts,
+                "op": info.op,
+                "error": info.error,
+                "records": [repr(record) for record in info.records],
+            },
+            durable=True,
+        )
+
+    def close(self) -> None:
+        """fsync and release the journal file handle."""
+        self.journal.close()
+
+    def delete(self) -> None:
+        """Close and remove the ledger file, if present."""
+        self.journal.delete()
+
+
+# -- the work queue -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One worker's claim on one shard; the token fences zombie writers."""
+
+    index: int
+    token: int
+    attempt: int
+    worker: str
+
+
+@dataclass
+class _Shard:
+    """Mutable per-shard queue state (guarded by the queue condition)."""
+
+    index: int
+    n_records: int
+    status: str = _PENDING
+    source: str = "live"  # live | replay | poison
+    attempts: int = 0  # deterministic failures (never lease losses)
+    lease_losses: int = 0
+    not_before: float = 0.0
+    token: int = 0
+    deadline: float = 0.0
+    worker: str = ""
+
+
+class WorkQueue:
+    """The durable shard state machine: claim -> heartbeat -> complete/expire.
+
+    Single condition variable; every state change notifies.  The queue
+    runs on its own :class:`VirtualClock` (``clock``) — lease deadlines
+    and retry backoff are operational time, deliberately separate from the
+    service's canonical clock, so retries and lease churn never perturb
+    the deterministic report.  The clock only advances when the queue is
+    otherwise idle (no leases, nothing claimable or materializable), which
+    makes backoff schedules deterministic too.
+
+    Shards are materialized lazily from ``chunks`` (an iterator of record
+    lists) under two backpressure gates: the in-flight **window** (at most
+    ``window`` shards past the fold frontier) and the spill store's byte
+    budget.  Chunks whose index already has a ledger ``shard``/``poison``
+    line are registered as replay/poison folds and their records discarded
+    immediately — a resume re-iterates the (deterministic) source instead
+    of persisting shard inputs.
+    """
+
+    def __init__(
+        self,
+        chunks: Iterable[list[Any]],
+        *,
+        window: int,
+        spill: SpillStore,
+        ledger: ShardLedger,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        backoff: RetryPolicy | None = None,
+        clock: VirtualClock | None = None,
+        lease_fault: Any = None,
+        metrics: Any = None,
+    ):
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        self._chunks = iter(chunks)
+        self.window = window
+        self.spill = spill
+        self.ledger = ledger
+        self.max_attempts = max_attempts
+        self.lease_timeout = lease_timeout
+        self.backoff = backoff or RetryPolicy(
+            max_retries=max_attempts,
+            backoff_seconds=0.5,
+            multiplier=2.0,
+            jitter=0.25,
+            seed="shard-backoff",
+        )
+        self.clock = clock or VirtualClock()
+        self.lease_fault = lease_fault
+        self.metrics = metrics
+        self._cond = threading.Condition()
+        self._shards: dict[int, _Shard] = {}
+        self._pending_chunk: list[Any] | None = None
+        self._next_index = 0
+        self._exhausted = False
+        self.n_shards: int | None = None
+        self._frontier = 0
+        self._token = 0
+        self._aborted = False
+        self._spill_failures = 0
+        self._spill_estimate = 0
+        self.lease_expiries = 0
+        self.shard_failures = 0
+        self.poisoned = 0
+        self.replayed = 0
+
+    @property
+    def frontier(self) -> int:
+        """First shard index not yet folded downstream."""
+        with self._cond:
+            return self._frontier
+
+    def abort(self) -> None:
+        """Stop handing out work (crash propagation); wakes every waiter."""
+        with self._cond:
+            self._aborted = True
+            self._cond.notify_all()
+
+    @property
+    def aborted(self) -> bool:
+        """Whether :meth:`abort` was called."""
+        with self._cond:
+            return self._aborted
+
+    # -- the single evaluation pass ---------------------------------------------------
+
+    def next_task(self, worker: str) -> tuple[str, Lease | None]:
+        """One scheduling decision for one idle worker.
+
+        Returns ``("lease", lease)`` to execute a shard, ``("poison",
+        lease)`` when a shard's carried-over attempt budget is already
+        exhausted (the caller writes the verdict without re-executing),
+        ``("retry", None)`` when the caller should fold and ask again, and
+        ``("done", None)`` when every shard is folded (or the queue
+        aborted).
+        """
+        with self._cond:
+            while True:
+                if self._aborted:
+                    return ("done", None)
+                now = self.clock.now
+                self._expire_locked(now)
+                shard = self._claimable_locked(now)
+                if shard is not None:
+                    return (self._claim_locked(shard, worker, now), shard.lease)
+                if self._materialize_locked():
+                    continue
+                if self._foldable_locked():
+                    return ("retry", None)
+                if self._done_locked():
+                    return ("done", None)
+                if self._advance_clock_locked():
+                    continue
+                # Timeout guards against a missed notify under real-time
+                # scheduling jitter; state is re-evaluated on every wake.
+                self._cond.wait(timeout=0.1)
+
+    def _expire_locked(self, now: float) -> None:
+        """Release every lease whose deadline has passed (lease loss)."""
+        for shard in self._shards.values():
+            if shard.status == _LEASED and shard.deadline <= now:
+                shard.status = _PENDING
+                shard.lease_losses += 1
+                shard.not_before = now
+                self.lease_expiries += 1
+                if self.metrics is not None:
+                    self.metrics.counter("workqueue.lease_expiries").inc()
+                self._cond.notify_all()
+
+    def _claimable_locked(self, now: float) -> _Shard | None:
+        """Smallest-index live shard ready to run right now."""
+        candidate = None
+        for shard in self._shards.values():
+            if (
+                shard.status == _PENDING
+                and shard.source == "live"
+                and shard.not_before <= now
+                and (candidate is None or shard.index < candidate.index)
+            ):
+                candidate = shard
+        return candidate
+
+    def _claim_locked(self, shard: _Shard, worker: str, now: float) -> str:
+        """Grant a lease on ``shard``; returns the task kind."""
+        self._token += 1
+        shard.status = _LEASED
+        shard.token = self._token
+        shard.worker = worker
+        shard.deadline = now + self.lease_timeout
+        if self.lease_fault is not None and self.lease_fault.fires("lease:granted"):
+            # Injected expiry: the holder's completion will be rejected as
+            # stale and the shard re-claimed, exactly as if the lease had
+            # timed out under a stalled worker.
+            shard.deadline = now
+        shard.lease = Lease(shard.index, shard.token, shard.attempts + 1, worker)
+        if shard.attempts >= self.max_attempts:
+            # A prior run burned the whole budget (crash landed between the
+            # final fail line and the poison line): quarantine without
+            # re-executing, so the resumed verdict matches the
+            # uninterrupted one byte for byte.
+            shard.deadline = _FOREVER
+            self._gauges_locked()
+            return "poison"
+        self._gauges_locked()
+        return "lease"
+
+    def _materialize_locked(self) -> bool:
+        """Pull (at most) one chunk from the source; True if state changed."""
+        if self._exhausted:
+            return False
+        if self._next_index >= self._frontier + self.window:
+            return False  # in-flight window full: backpressure
+        if self._pending_chunk is None:
+            try:
+                self._pending_chunk = next(self._chunks)
+            except StopIteration:
+                self._exhausted = True
+                self.n_shards = self._next_index
+                recorded = self.ledger.max_recorded_index()
+                if recorded >= self.n_shards:
+                    raise CheckpointMismatchError(
+                        f"ledger mentions shard {recorded} but the source "
+                        f"produced only {self.n_shards} shard(s); the source "
+                        "changed under a reused ledger"
+                    )
+                self._cond.notify_all()
+                return True
+        index = self._next_index
+        chunk = self._pending_chunk
+        if self.ledger.has_shard(index):
+            expected = self.ledger.shard_n_records(index)
+            if expected != len(chunk):
+                raise CheckpointMismatchError(
+                    f"ledger shard {index} covered {expected} record(s); the "
+                    f"source produced {len(chunk)}"
+                )
+            if self.ledger.shard_replayable(index):
+                # Completed in a prior run: discard the records (the fold
+                # replays the journalled results) — this is the
+                # consume-and-discard source skip.
+                self._register_locked(
+                    _Shard(index, len(chunk), status=_DONE, source="replay")
+                )
+                self.replayed += 1
+                return True
+            # Outputs did not serialize: fall through and re-execute live.
+        else:
+            poison = self.ledger.poison(index)
+            if poison is not None:
+                if poison.n_records != len(chunk):
+                    raise CheckpointMismatchError(
+                        f"ledger poison {index} covered {poison.n_records} "
+                        f"record(s); the source produced {len(chunk)}"
+                    )
+                self._register_locked(
+                    _Shard(index, len(chunk), status=_POISONED, source="poison")
+                )
+                return True
+        if index > self._frontier and not self.spill.has_room(self._spill_estimate):
+            return False  # spill budget full: backpressure (frontier always runs)
+        try:
+            written = self.spill.put(str(index), chunk)
+        except SpillWriteError:
+            self._spill_failures += 1
+            if self._spill_failures >= MAX_SPILL_FAILURES:
+                raise
+            # The pulled chunk is kept; the next pass retries the write.
+            return True
+        self._spill_failures = 0
+        self._spill_estimate = written
+        self._register_locked(
+            _Shard(
+                index,
+                len(chunk),
+                status=_PENDING,
+                source="live",
+                attempts=self.ledger.attempts(index),
+                not_before=self.clock.now,
+            )
+        )
+        return True
+
+    def _register_locked(self, shard: _Shard) -> None:
+        self._shards[shard.index] = shard
+        self._pending_chunk = None
+        self._next_index += 1
+        self._cond.notify_all()
+        self._gauges_locked()
+
+    def _foldable_locked(self) -> bool:
+        shard = self._shards.get(self._frontier)
+        return shard is not None and shard.status in (_DONE, _POISONED)
+
+    def _done_locked(self) -> bool:
+        return self._exhausted and self._frontier == self.n_shards
+
+    def _advance_clock_locked(self) -> bool:
+        """Jump the queue clock to the earliest backoff release, when idle.
+
+        Only legal with no outstanding leases — advancing under a live
+        lease could expire it while its holder is still executing, and
+        then rollback could race re-execution.  With every worker parked
+        here, the jump is exactly what a real scheduler's timed sleep
+        would do, minus the wall-clock wait.
+        """
+        if any(shard.status == _LEASED for shard in self._shards.values()):
+            return False
+        pending = [
+            shard.not_before
+            for shard in self._shards.values()
+            if shard.status == _PENDING and shard.source == "live"
+        ]
+        if not pending:
+            return False
+        target = min(pending)
+        if target <= self.clock.now:
+            return False
+        self.clock.now = target
+        return True
+
+    # -- lease verbs -------------------------------------------------------------------
+
+    def _holder_locked(self, lease: Lease) -> _Shard | None:
+        """The shard iff ``lease`` is still the live claim on it."""
+        shard = self._shards.get(lease.index)
+        if (
+            shard is None
+            or shard.status != _LEASED
+            or shard.token != lease.token
+        ):
+            return None
+        return shard
+
+    def heartbeat(self, lease: Lease) -> bool:
+        """Extend a still-valid lease's deadline; False if already lost."""
+        with self._cond:
+            shard = self._holder_locked(lease)
+            if shard is None or shard.deadline <= self.clock.now:
+                return False
+            if shard.deadline < _FOREVER:
+                shard.deadline = self.clock.now + self.lease_timeout
+            return True
+
+    def complete(self, lease: Lease) -> bool:
+        """Mark the shard done; False when the lease is stale.
+
+        A stale completion (expired or superseded lease) is rejected so a
+        zombie worker's half-done results are discarded — the caller must
+        roll back the attempt's cache inserts.
+        """
+        with self._cond:
+            shard = self._holder_locked(lease)
+            if shard is None or shard.deadline <= self.clock.now:
+                return False
+            shard.status = _DONE
+            self._cond.notify_all()
+            self._gauges_locked()
+            return True
+
+    def fail(self, lease: Lease, error: str) -> tuple[str, int, float]:
+        """Register a deterministic failure; returns the verdict.
+
+        ``("retry", attempts, delay)`` schedules the re-claim after a
+        jittered exponential backoff on the queue clock; ``("poison",
+        attempts, 0.0)`` means the budget is spent — the caller journals
+        the verdict and confirms; ``("stale", 0, 0.0)`` means the lease
+        was already lost (the failure belongs to a zombie and counts for
+        nothing).
+        """
+        with self._cond:
+            shard = self._holder_locked(lease)
+            if shard is None or shard.deadline <= self.clock.now:
+                return ("stale", 0, 0.0)
+            shard.attempts += 1
+            self.shard_failures += 1
+            if self.metrics is not None:
+                self.metrics.counter("workqueue.shard_failures").inc()
+            if shard.attempts >= self.max_attempts:
+                shard.deadline = _FOREVER  # held until the verdict commits
+                return ("poison", shard.attempts, 0.0)
+            delay = self.backoff.delay(shard.attempts - 1, key=str(shard.index))
+            shard.status = _PENDING
+            shard.not_before = self.clock.now + delay
+            self._cond.notify_all()
+            self._gauges_locked()
+            return ("retry", shard.attempts, delay)
+
+    def confirm_poison(self, lease: Lease) -> bool:
+        """Commit the quarantine after the poison line is journalled."""
+        with self._cond:
+            shard = self._holder_locked(lease)
+            if shard is None:
+                return False
+            shard.status = _POISONED
+            self.poisoned += 1
+            if self.metrics is not None:
+                self.metrics.counter("workqueue.poisoned").inc()
+            self._cond.notify_all()
+            self._gauges_locked()
+            return True
+
+    def release(self, lease: Lease) -> bool:
+        """Give a lease back untouched (worker killed mid-shard)."""
+        with self._cond:
+            shard = self._holder_locked(lease)
+            if shard is None:
+                return False
+            shard.status = _PENDING
+            shard.lease_losses += 1
+            shard.not_before = self.clock.now
+            self.lease_expiries += 1
+            if self.metrics is not None:
+                self.metrics.counter("workqueue.lease_expiries").inc()
+            self._cond.notify_all()
+            self._gauges_locked()
+            return True
+
+    # -- fold frontier -----------------------------------------------------------------
+
+    def next_foldable(self) -> _Shard | None:
+        """The frontier shard, iff it is ready to fold downstream."""
+        with self._cond:
+            shard = self._shards.get(self._frontier)
+            if shard is None or shard.status not in (_DONE, _POISONED):
+                return None
+            return shard
+
+    def mark_folded(self, index: int) -> None:
+        """Advance the fold frontier past ``index`` (unblocks the window)."""
+        with self._cond:
+            if index != self._frontier:
+                raise RuntimeError(
+                    f"fold order violation: folding shard {index} at "
+                    f"frontier {self._frontier}"
+                )
+            self._shards.pop(index, None)
+            self._frontier += 1
+            self._cond.notify_all()
+            self._gauges_locked()
+
+    def _gauges_locked(self) -> None:
+        if self.metrics is None:
+            return
+        pending = leased = 0
+        for shard in self._shards.values():
+            if shard.status == _PENDING:
+                pending += 1
+            elif shard.status == _LEASED:
+                leased += 1
+        self.metrics.gauge("workqueue.depth").set(pending)
+        self.metrics.gauge("workqueue.inflight").set(leased)
+        self.metrics.gauge("workqueue.frontier").set(self._frontier)
+
+
+# -- profile-row folding ------------------------------------------------------------
+
+
+def _add_rows(accumulated: ProfileRow, row: ProfileRow) -> ProfileRow:
+    """Field-wise sum of two profile rows (fold order fixes float order)."""
+    return ProfileRow(
+        module=accumulated.module,
+        calls=accumulated.calls + row.calls,
+        provider_calls=accumulated.provider_calls + row.provider_calls,
+        cache_exact=accumulated.cache_exact + row.cache_exact,
+        cache_near=accumulated.cache_near + row.cache_near,
+        distilled=accumulated.distilled + row.distilled,
+        cost=accumulated.cost + row.cost,
+        latency_seconds=accumulated.latency_seconds + row.latency_seconds,
+        retries=accumulated.retries + row.retries,
+        fallbacks=accumulated.fallbacks + row.fallbacks,
+        failures=accumulated.failures + row.failures,
+        quarantined=accumulated.quarantined + row.quarantined,
+    )
+
+
+@dataclass
+class _LivePoison:
+    """A quarantine verdict pending fold, with the live record objects."""
+
+    info: PoisonInfo
+
+
+# -- the streaming executor ----------------------------------------------------------
+
+
+class StreamingExecutor:
+    """Pipelined, memory-bounded execution of a compiled physical plan.
+
+    The plan must be a **linear chain** with a chunk-capable, parallel-safe
+    core: a (possibly empty) coordinator-side *prefix* (e.g. a lazy load),
+    a maximal run of chunk-capable *middle* operators that the work queue
+    streams shard by shard, and a (possibly empty) coordinator-side
+    *suffix* (e.g. a save).  The prefix's output feeds the queue as an
+    iterator and is never materialized by the executor; keep prefix
+    transforms lazy and the whole run is O(window x chunk) resident.
+
+    ``sink`` switches the output mode: ``None`` collects the middle
+    outputs into a list and runs the suffix on it (convenient, but O(n)
+    memory in the outputs); a callable receives each shard's outputs in
+    shard order and the suffix — which must then be pass-through ``save``
+    operators — is skipped, its report value replaced by ``{"records": n,
+    "sha256": digest}`` over the streamed outputs.  The digest is chained
+    in shard order, so it is part of the byte-identity contract.
+    """
+
+    def __init__(
+        self,
+        plan: PhysicalPlan,
+        *,
+        ledger: ShardLedger,
+        workers: int = 1,
+        chunk_size: int | None = None,
+        window: int | None = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        backoff: RetryPolicy | None = None,
+        sink: Callable[[list[Any]], Any] | None = None,
+        spill_dir: str | Path | None = None,
+        spill_budget_bytes: int | None = None,
+        source_id: str = "",
+        crash: Any = None,
+        kill: Any = None,
+        lease_fault: Any = None,
+        spill_fault: Any = None,
+        queue_clock: VirtualClock | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.plan = plan
+        self.ledger = ledger
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.window = window if window is not None else max(4 * workers, 8)
+        self.max_attempts = max_attempts
+        self.lease_timeout = lease_timeout
+        self.backoff = backoff
+        self.sink = sink
+        self.spill_dir = spill_dir
+        self.spill_budget_bytes = spill_budget_bytes
+        self.source_id = source_id
+        self.crash = crash
+        self.kill = kill
+        self.lease_fault = lease_fault
+        self.spill_fault = spill_fault
+        self.queue_clock = queue_clock or VirtualClock()
+        self.queue: WorkQueue | None = None
+        self.spill: SpillStore | None = None
+        # fold state
+        self._fold_lock = threading.Lock()
+        self._results_lock = threading.Lock()
+        self._results: dict[int, tuple[list, list]] = {}
+        self._live_poisons: dict[int, PoisonInfo] = {}
+        self._rows: dict[str, ProfileRow] = {}
+        self._resil: dict[str, dict[str, int]] = {}
+        self._output_buffer: list[Any] = []
+        self._sink_records = 0
+        self._sink_digest = hashlib.sha256()
+        self._run_base = 0.0
+        self._report: RunReport | None = None
+
+    # -- plan splitting ----------------------------------------------------------------
+
+    def _split_chain(self):
+        """Validate linearity and split the chain into prefix/middle/suffix."""
+        bound = self.plan.bound
+        if not bound:
+            raise StreamingPlanError("plan has no operators")
+        previous = None
+        for binding in bound:
+            operator = binding.operator
+            if previous is None:
+                if operator.inputs:
+                    raise StreamingPlanError(
+                        f"streaming requires a linear chain; first operator "
+                        f"{operator.name!r} declares inputs {operator.inputs}"
+                    )
+            elif list(operator.inputs) != [previous.operator.name]:
+                raise StreamingPlanError(
+                    f"streaming requires a linear chain; operator "
+                    f"{operator.name!r} does not consume exactly "
+                    f"{previous.operator.name!r}"
+                )
+            previous = binding
+
+        def streamable(binding) -> bool:
+            return binding.module.chunk_capable and tree_parallel_safe(binding.module)
+
+        start = next(
+            (i for i, binding in enumerate(bound) if streamable(binding)), None
+        )
+        if start is None:
+            raise StreamingPlanError(
+                "no chunk-capable, parallel-safe operator to stream; use "
+                "plan.execute() instead"
+            )
+        end = start
+        while end < len(bound) and streamable(bound[end]):
+            end += 1
+        prefix, middle, suffix = bound[:start], bound[start:end], bound[end:]
+        if self.sink is not None:
+            for binding in suffix:
+                if binding.operator.kind != "save":
+                    raise StreamingPlanError(
+                        f"sink mode skips the suffix, so every operator after "
+                        f"the streamed core must be a pass-through save; "
+                        f"{binding.operator.name!r} is "
+                        f"{binding.operator.kind!r}"
+                    )
+        return prefix, middle, suffix
+
+    # -- coordinator-side operators (prefix / suffix) -----------------------------------
+
+    def _run_op(self, binding, argument, report, profile, tracer, service):
+        """Execute one operator coordinator-side, exactly like plan.execute."""
+        ledger_mark = len(service.records)
+        degraded_before = _tree_degraded(binding.module)
+        module_start = service.clock.now
+        operator = binding.operator
+        phase_span = (
+            tracer.span(
+                operator.name, "phase", clock=service.clock,
+                operator_kind=operator.kind,
+            )
+            if tracer is not None
+            else nullcontext()
+        )
+        with phase_span:
+            module_span = (
+                tracer.span(
+                    binding.module.name, "module", clock=service.clock,
+                    module_type=type(binding.module).__name__,
+                )
+                if tracer is not None
+                else nullcontext()
+            )
+            with module_span as span:
+                value = binding.module.run(argument)
+                drained = binding.module.drain_quarantine()
+                degraded = _tree_degraded(binding.module) - degraded_before
+                slice_ = service.records[ledger_mark:]
+                if tracer is not None:
+                    span.set("quarantined", len(drained))
+                    span.set("degraded", degraded)
+            if tracer is not None:
+                _add_call_spans(span, slice_, module_start)
+        report.quarantine.extend(drained)
+        row = profile_records(operator.name, slice_, quarantined=len(drained))
+        profile.rows.append(row)
+        report.resilience[operator.name] = OperatorResilience(
+            quarantined=len(drained),
+            degraded=degraded,
+            llm_retries=row.retries,
+            llm_fallbacks=row.fallbacks,
+            llm_failures=row.failures,
+        )
+        return value
+
+    # -- fault boundaries --------------------------------------------------------------
+
+    def _announce(self, boundary: str) -> None:
+        """Offer one named boundary to the armed crash and kill points."""
+        if self.crash is not None:
+            self.crash.reached(boundary)
+        if self.kill is not None:
+            self.kill.reached(boundary)
+
+    # -- execution ---------------------------------------------------------------------
+
+    def fingerprint(self, chunk_size: int) -> str:
+        """Stable identity of (plan, chunking, source) for ledger resume.
+
+        The caller's inputs are deliberately excluded (generator reprs are
+        not stable); ``source_id`` carries the source's own fingerprint —
+        e.g. :attr:`repro.datasets.streaming.StreamingERCorpus.fingerprint`.
+        Worker count, window and lease settings are operational knobs, not
+        identity: a run may resume with any of them changed.
+        """
+        return fingerprint_payload(
+            {
+                "mode": "streaming",
+                "plan": self.plan.fingerprint(None, chunk_size=chunk_size),
+                "source": self.source_id,
+            }
+        )
+
+    def execute(self, inputs: Any = None) -> RunReport:
+        """Run the plan over a streaming source; returns a normal report.
+
+        ``inputs`` is handed to the prefix (or, with no prefix, fed to the
+        queue directly) and may be any iterable — a generator is never
+        materialized.  Crash-resume: re-run with the same ledger path and
+        the completed shard prefix replays at zero provider cost.
+        """
+        prefix, middle, suffix = self._split_chain()
+        service = self.plan.context.service
+        obs = getattr(service, "obs", None)
+        tracer = obs.tracer if obs is not None and obs.tracer.enabled else None
+        chunk_size = resolve_chunk_size(middle[0].module, self.chunk_size)
+        self.ledger.begin(self.fingerprint(chunk_size), service)
+        report = RunReport(pipeline_name=self.plan.pipeline.name)
+        report.profile = RunProfile()
+        self._report = report
+        self._middle = middle
+        self._module_by_op = {
+            binding.operator.name: binding.module for binding in middle
+        }
+        for binding in middle:
+            self._rows[binding.operator.name] = ProfileRow(
+                module=binding.operator.name
+            )
+            self._resil[binding.operator.name] = {"quarantined": 0, "degraded": 0}
+        values: dict[str, Any] = {}
+        run_span = (
+            tracer.span(self.plan.pipeline.name, "run", clock=service.clock)
+            if tracer is not None
+            else nullcontext()
+        )
+        with run_span:
+            # Prefix: coordinator-side, re-executed deterministically on
+            # resume (the ledger header rewound the cache to run start, so
+            # a prefix with LLM calls re-pays and re-records identically).
+            argument: Any = inputs or {}
+            for binding in prefix:
+                argument = self._run_op(
+                    binding, argument, report, report.profile, tracer, service
+                )
+            # Re-warm the exact cache from the replayable shard prefix
+            # *after* the prefix re-executed — the same temporal order the
+            # original run inserted cache entries in.
+            self.ledger.rewarm(service)
+            for binding in middle:
+                with binding.module._lock:
+                    binding.module.stats.invocations += 1
+            self._run_base = service.clock.now
+            if argument is None:
+                raise StreamingPlanError(
+                    f"prefix operator "
+                    f"{prefix[-1].operator.name if prefix else '<inputs>'} "
+                    "produced no iterable for the streamed core"
+                )
+            self.spill = SpillStore(
+                self._spill_directory(),
+                budget_bytes=self.spill_budget_bytes,
+                encode=encode_value,
+                decode=decode_value,
+                write_fault=self.spill_fault,
+            )
+            if obs is not None:
+                self.spill.metrics = obs.metrics
+            self.queue = WorkQueue(
+                iter_chunks(argument, chunk_size),
+                window=self.window,
+                spill=self.spill,
+                ledger=self.ledger,
+                max_attempts=self.max_attempts,
+                lease_timeout=self.lease_timeout,
+                backoff=self.backoff,
+                clock=self.queue_clock,
+                lease_fault=self.lease_fault,
+                metrics=obs.metrics if obs is not None else None,
+            )
+            self._run_workers()
+            # Middle rows, in operator order, after every shard folded.
+            for binding in middle:
+                name = binding.operator.name
+                row = self._rows[name]
+                report.profile.rows.append(row)
+                counts = self._resil[name]
+                report.resilience[name] = OperatorResilience(
+                    quarantined=counts["quarantined"],
+                    degraded=counts["degraded"],
+                    llm_retries=row.retries,
+                    llm_fallbacks=row.fallbacks,
+                    llm_failures=row.failures,
+                )
+            if self.sink is None:
+                value: Any = self._output_buffer
+                values[middle[-1].operator.name] = value
+                for binding in suffix:
+                    value = self._run_op(
+                        binding, value, report, report.profile, tracer, service
+                    )
+                    values[binding.operator.name] = value
+            else:
+                summary = {
+                    "records": self._sink_records,
+                    "sha256": self._sink_digest.hexdigest(),
+                }
+                values[middle[-1].operator.name] = summary
+                for binding in suffix:
+                    values[binding.operator.name] = summary
+            self.spill.clear()
+        report.partial = bool(report.quarantine)
+        totals = report.profile.totals()
+        report.cost = CostSnapshot(
+            served_calls=totals.provider_calls,
+            cached_calls=totals.cached_calls,
+            cost=totals.cost,
+            latency_seconds=totals.latency_seconds,
+            retries=totals.retries,
+            fallback_calls=totals.fallbacks,
+            failed_calls=totals.failures,
+            near_hits=totals.cache_near,
+            distilled_calls=totals.distilled,
+        )
+        for sink_op in self.plan.pipeline.sinks():
+            if sink_op.name not in values:
+                raise StreamingPlanError(
+                    f"sink {sink_op.name!r} is inside the streamed core but "
+                    "not its final operator; its value is never materialized"
+                )
+            report.outputs[sink_op.name] = values[sink_op.name]
+        for binding in self.plan.bound:
+            report.module_stats[binding.operator.name] = (
+                binding.module.stats.to_text()
+            )
+        report.recovery = self._recovery_summary()
+        return report
+
+    def _spill_directory(self) -> Path:
+        if self.spill_dir is not None:
+            return Path(self.spill_dir)
+        return self.ledger.path.parent / (self.ledger.path.stem + ".spill")
+
+    def _recovery_summary(self) -> dict:
+        """Operational (non-canonical) counters for ``report.recovery``."""
+        stats = self.ledger.stats
+        queue = self.queue
+        spill = self.spill
+        return {
+            "mode": "streaming",
+            "resumed": stats.resumed,
+            "shards": queue.n_shards if queue is not None else 0,
+            "replayed_shards": stats.replayed_shards,
+            "journaled_shards": stats.journaled_shards,
+            "replayed_records": stats.replayed_records,
+            "quarantined_shards": stats.quarantined_shards,
+            "cache_entries_pruned": stats.cache_entries_pruned,
+            "torn_bytes": stats.torn_bytes,
+            "lease_expiries": queue.lease_expiries if queue is not None else 0,
+            "shard_failures": queue.shard_failures if queue is not None else 0,
+            "spill_peak_bytes": spill.peak_bytes if spill is not None else 0,
+            "spill_writes": spill.writes if spill is not None else 0,
+            "spill_write_failures": (
+                spill.write_failures if spill is not None else 0
+            ),
+        }
+
+    # -- worker pool -------------------------------------------------------------------
+
+    def _run_workers(self) -> None:
+        errors: list[BaseException] = []
+        errors_lock = threading.Lock()
+
+        def runner(name: str) -> None:
+            try:
+                self._worker_loop(name)
+            except BaseException as error:  # noqa: BLE001 - propagated below
+                with errors_lock:
+                    errors.append(error)
+                self.queue.abort()
+
+        if self.workers == 1:
+            runner("w0")
+        else:
+            with ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-stream"
+            ) as pool:
+                futures = [
+                    pool.submit(runner, f"w{i}") for i in range(self.workers)
+                ]
+                for future in futures:
+                    future.result()
+        if errors:
+            raise errors[0]
+
+    def _worker_loop(self, worker: str) -> None:
+        """One worker: fold what is ready, then claim and execute a shard."""
+        service = self.plan.context.service
+        queue = self.queue
+        while True:
+            self._fold_ready()
+            kind, lease = queue.next_task(worker)
+            if kind == "done":
+                return
+            if kind == "retry":
+                continue
+            if kind == "poison":
+                self._poison_carried(lease)
+                continue
+            self._execute_shard(lease)
+
+    def _execute_shard(self, lease: Lease) -> None:
+        """One shard attempt: spill -> ops -> journal -> complete."""
+        service = self.plan.context.service
+        queue = self.queue
+        scopes: list = []
+        op_name = self._middle[0].operator.name
+        records: list[Any] | None = None
+        try:
+            records = self.spill.get(str(lease.index))
+            self._announce("shard:claimed")
+            current = records
+            op_results = []
+            for binding in self._middle:
+                op_name = binding.operator.name
+                if not queue.heartbeat(lease):
+                    # Lease lost (injected expiry or supersession) before
+                    # this op: abandon the attempt and hand the shard back.
+                    # A born-expired lease fails its *first* heartbeat, so
+                    # the zombie executes nothing and the re-claiming
+                    # worker never observes its cache state.
+                    for scope in scopes:
+                        service.rollback_scope(scope)
+                    queue.release(lease)
+                    return
+                with service.scoped(self._run_base) as scope:
+                    outcome = binding.module.apply_chunk(current)
+                scopes.append(scope)
+                op_results.append((op_name, scope, outcome))
+                current = list(outcome.outputs)
+            self._announce("shard:executed")
+            self.ledger.record_shard(lease.index, len(records), op_results, current)
+            self._announce("shard:journaled")
+            if queue.complete(lease):
+                with self._results_lock:
+                    self._results[lease.index] = (op_results, current)
+            else:
+                # Lease lost (injected expiry or supersession): this
+                # attempt's results are zombie state — discard them and
+                # un-cache whatever its provider calls inserted, so the
+                # re-claimed attempt re-serves identically.
+                for scope in scopes:
+                    service.rollback_scope(scope)
+        except WorkerKilled:
+            for scope in scopes:
+                service.rollback_scope(scope)
+            queue.release(lease)
+        except CrashInjected:
+            raise
+        except Exception as error:  # deterministic shard failure
+            for scope in scopes:
+                service.rollback_scope(scope)
+            verdict, attempts, _delay = queue.fail(lease, str(error))
+            if verdict == "stale":
+                return
+            self.ledger.record_fail(lease.index, attempts, op_name, str(error))
+            if verdict == "poison":
+                if records is None:
+                    records = self.spill.get(str(lease.index))
+                info = PoisonInfo(
+                    index=lease.index,
+                    n_records=len(records),
+                    attempts=attempts,
+                    op=op_name,
+                    error=str(error),
+                    records=records,
+                )
+                self.ledger.record_poison(info)
+                with self._results_lock:
+                    self._live_poisons[lease.index] = info
+                queue.confirm_poison(lease)
+
+    def _poison_carried(self, lease: Lease) -> None:
+        """Quarantine a shard whose attempt budget died in a prior run."""
+        op_name, error = self.ledger.last_fail(lease.index)
+        records = self.spill.get(str(lease.index))
+        info = PoisonInfo(
+            index=lease.index,
+            n_records=len(records),
+            attempts=lease.attempt - 1,
+            op=op_name or self._middle[0].operator.name,
+            error=error,
+            records=records,
+        )
+        self.ledger.record_poison(info)
+        with self._results_lock:
+            self._live_poisons[lease.index] = info
+        self.queue.confirm_poison(lease)
+
+    # -- the fold ----------------------------------------------------------------------
+
+    def _fold_ready(self) -> None:
+        """Fold every frontier shard that is ready, in shard order.
+
+        Serialized by ``_fold_lock``: shard results enter the report, the
+        shared clock and the per-operator accumulators in strict frontier
+        order, which is what makes the canonical report independent of
+        worker interleaving.
+        """
+        while True:
+            with self._fold_lock:
+                shard = self.queue.next_foldable()
+                if shard is None:
+                    return
+                self._fold_shard(shard)
+                self.queue.mark_folded(shard.index)
+
+    def _fold_shard(self, shard: _Shard) -> None:
+        service = self.plan.context.service
+        obs = getattr(service, "obs", None)
+        tracer = obs.tracer if obs is not None and obs.tracer.enabled else None
+        report = self._report
+        index = shard.index
+        if shard.status == _POISONED:
+            self._fold_poison(index, shard, report, tracer, service)
+            return
+        with self._results_lock:
+            live = self._results.pop(index, None)
+        if live is not None:
+            op_results, outputs = live
+            ops = [
+                ShardOpReplay(
+                    name=name,
+                    records=scope.records,
+                    elapsed=scope.elapsed,
+                    quarantine=outcome.quarantine,
+                    degraded=outcome.degraded,
+                )
+                for name, scope, outcome in op_results
+            ]
+        else:
+            replay = self.ledger.shard_replay(index)
+            ops = replay.ops
+            outputs = replay.outputs
+            with self.ledger._lock:
+                self.ledger.stats.replayed_shards += 1
+                self.ledger.stats.replayed_records += sum(
+                    len(op.records) for op in ops
+                )
+        quarantined = degraded = 0
+        for op in ops:
+            self._rows[op.name] = _add_rows(
+                self._rows[op.name],
+                profile_records(op.name, op.records, quarantined=len(op.quarantine)),
+            )
+            service.clock.advance(op.elapsed)
+            module = self._module_by_op[op.name]
+            with module._lock:
+                module.stats.quarantined += len(op.quarantine)
+                module.stats.degraded += op.degraded
+            report.quarantine.extend(op.quarantine)
+            counts = self._resil[op.name]
+            counts["quarantined"] += len(op.quarantine)
+            counts["degraded"] += op.degraded
+            quarantined += len(op.quarantine)
+            degraded += op.degraded
+        if self.sink is None:
+            self._output_buffer.extend(outputs)
+        else:
+            self.sink(list(outputs))
+            self._sink_records += len(outputs)
+            self._sink_digest.update(
+                json.dumps(
+                    encode_value(list(outputs)),
+                    sort_keys=True,
+                    ensure_ascii=False,
+                    default=repr,
+                ).encode("utf-8")
+            )
+        if tracer is not None:
+            tracer.add_span(
+                f"shard[{index}]",
+                kind="shard",
+                start=self._run_base,
+                end=self._run_base,
+                records=shard.n_records,
+                outputs=len(outputs),
+                quarantined=quarantined,
+                degraded=degraded,
+                replayed=live is None,
+            )
+        if shard.source == "live":
+            self.spill.remove(str(index))
+
+    def _fold_poison(self, index, shard, report, tracer, service) -> None:
+        with self._results_lock:
+            info = self._live_poisons.pop(index, None)
+        if info is None:
+            info = self.ledger.poison(index)
+        message = (
+            f"shard {index} poisoned after {info.attempts} attempt(s): "
+            f"{info.error}"
+        )
+        module_name = info.op or self._middle[0].operator.name
+        for record in info.records:
+            report.quarantine.append(
+                QuarantinedRecord(record=record, module_name=module_name,
+                                  error=message)
+            )
+        module = self._module_by_op.get(module_name)
+        if module is not None:
+            with module._lock:
+                module.stats.failures += info.attempts
+                module.stats.quarantined += info.n_records
+        counts = self._resil.get(module_name)
+        if counts is not None:
+            counts["quarantined"] += info.n_records
+        with self.ledger._lock:
+            self.ledger.stats.quarantined_shards += 1
+        if tracer is not None:
+            tracer.add_span(
+                f"shard[{index}]",
+                kind="shard",
+                start=self._run_base,
+                end=self._run_base,
+                records=info.n_records,
+                outputs=0,
+                quarantined=info.n_records,
+                degraded=0,
+                poisoned=True,
+            )
+        if shard.source == "live":
+            self.spill.remove(str(index))

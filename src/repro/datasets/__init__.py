@@ -16,6 +16,7 @@ from repro.datasets.names import (
     NameExtractionDataset,
     generate_name_dataset,
 )
+from repro.datasets.streaming import StreamingERCorpus
 
 __all__ = [
     "ER_DATASET_NAMES",
@@ -28,4 +29,5 @@ __all__ = [
     "NameDocument",
     "NameExtractionDataset",
     "generate_name_dataset",
+    "StreamingERCorpus",
 ]

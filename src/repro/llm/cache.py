@@ -468,6 +468,25 @@ class PromptCache:
                 ):
                     self.journal.compact(self._entries.items())
 
+    def remove(self, key: CacheKey) -> bool:
+        """Drop one exact-tier entry (in-memory only); True if it existed.
+
+        This is the scope-rollback hook: when a streaming shard attempt is
+        abandoned (worker killed, lease lost mid-flight), the entries that
+        attempt inserted must not survive it, or the retry would find its
+        own half-done answers already cached and report a cheaper run than
+        an undisturbed execution.  The journal is deliberately left alone —
+        a durable resume reconciles it against the run header's
+        :meth:`state_digests` snapshot plus the replayed shard records, and
+        a warm *later* run may legitimately reuse the answer (the provider
+        is deterministic about it).
+        """
+        with self._lock:
+            existed = self._entries.pop(key, None) is not None
+            if existed and self.metrics is not None:
+                self.metrics.gauge("cache.entries").set(len(self._entries))
+        return existed
+
     # -- tier 2: near duplicates --------------------------------------------------
 
     def get_near(self, key: CacheKey) -> tuple[LLMResponse, float] | None:

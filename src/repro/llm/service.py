@@ -73,9 +73,24 @@ from repro.resilience.policy import (
     RetryPolicy,
 )
 
-__all__ = ["CallRecord", "UsageSummary", "CallScope", "LLMService"]
+__all__ = [
+    "CallRecord",
+    "UsageSummary",
+    "CallScope",
+    "LLMService",
+    "DEFAULT_RETRY_JITTER",
+]
 
 _NO_VERSION = ""  # default prompt-template version tag
+
+#: Jitter fraction applied by the service's *default* retry policy.  Keyed
+#: deterministically on (seed, prompt, attempt) — see
+#: :meth:`repro.resilience.policy.RetryPolicy.delay` — so concurrent
+#: retries of different prompts de-synchronise instead of thundering back
+#: at the provider in lockstep, while any given prompt's schedule stays
+#: byte-reproducible.  Callers passing an explicit ``policy=`` (or relying
+#: on ``RetryPolicy()``'s own ``jitter=0.0`` default) are unaffected.
+DEFAULT_RETRY_JITTER = 0.1
 
 
 @dataclass(frozen=True)
@@ -163,6 +178,10 @@ class CallScope:
     base: float
     clock: VirtualClock
     records: list[CallRecord] = field(default_factory=list)
+    #: exact-tier cache keys this scope *created* (first insert, not a
+    #: refresh of a pre-existing entry); :meth:`LLMService.rollback_scope`
+    #: removes them when the scope's work is abandoned mid-flight.
+    cache_keys: list[CacheKey] = field(default_factory=list)
 
     @property
     def elapsed(self) -> float:
@@ -204,7 +223,11 @@ class LLMService:
         self.max_calls = max_calls
         self.max_cost = max_cost
         self.policy = policy or ResiliencePolicy(
-            retry=RetryPolicy(max_retries=max_retries, backoff_seconds=backoff_seconds)
+            retry=RetryPolicy(
+                max_retries=max_retries,
+                backoff_seconds=backoff_seconds,
+                jitter=DEFAULT_RETRY_JITTER,
+            )
         )
         self.clock = clock or VirtualClock()
         self.records: list[CallRecord] = []
@@ -235,6 +258,22 @@ class LLMService:
         """
         self.obs = obs
         self.cache.metrics = obs.metrics
+        journal = getattr(self.cache, "journal", None)
+        if journal is not None and journal.corrupt_lines:
+            # The cache journal loads at construction, before observability
+            # exists, so damaged lines it truncated are surfaced here — the
+            # same signal the run journals emit for torn tails.
+            obs.metrics.counter("cache.journal_corrupt_lines").inc(
+                journal.corrupt_lines
+            )
+            if obs.tracer.enabled:
+                obs.tracer.add_span(
+                    "torn-tail[cache-journal]",
+                    kind="event",
+                    start=float(self.clock.now),
+                    lines=journal.corrupt_lines,
+                    journal="cache",
+                )
         for breaker in self.breakers:
             if breaker is not None:
                 breaker.metrics = obs.metrics
@@ -303,6 +342,28 @@ class LLMService:
         with self._lock:
             self.records.extend(scope.records)
             self.clock.advance(scope.elapsed)
+
+    def rollback_scope(self, scope: CallScope) -> int:
+        """Undo an abandoned scope's cache inserts; returns entries removed.
+
+        The streaming executor calls this instead of :meth:`merge_scope`
+        when a shard attempt dies mid-flight (worker killed, lease lost):
+        its ledger records are discarded with the scope, but the exact-tier
+        entries its provider calls created would otherwise survive — and
+        the shard's *retry* would then find its own half-done answers
+        cached, making the disturbed run cheaper than an undisturbed one
+        instead of byte-identical.  Only entries this scope created are
+        removed (refreshes of pre-existing entries are never tracked), so
+        rollback cannot evict warm-start state.
+        """
+        removed = 0
+        with self._lock:
+            for key in scope.cache_keys:
+                if self.cache.remove(key):
+                    removed += 1
+            scope.cache_keys.clear()
+            scope.records.clear()
+        return removed
 
     def _scope(self) -> CallScope | None:
         return getattr(self._tls, "scope", None)
@@ -463,6 +524,9 @@ class LLMService:
         with self._lock:
             if epoch != self._cache_epoch:
                 return
+            scope = self._scope()
+            if scope is not None and not self.cache.peek(key):
+                scope.cache_keys.append(key)
             self.cache.put(key, response)
 
     def _complete_uncached(

@@ -50,8 +50,11 @@ __all__ = [
     "provenance_counts",
 ]
 
-#: The five span kinds, outermost first.
-SPAN_KINDS = ("run", "phase", "module", "chunk", "llm_call")
+#: The span kinds, outermost first.  ``shard`` is the streaming executor's
+#: analogue of ``chunk`` (one durable work-queue shard, pinned to the
+#: operator-entry timestamp); ``event`` marks point-in-time occurrences
+#: such as a journal torn-tail truncation.
+SPAN_KINDS = ("run", "phase", "module", "chunk", "shard", "llm_call", "event")
 
 #: Float attribute names normalized on export (they are deterministic, but
 #: rounding keeps golden fixtures readable and platform-stable).

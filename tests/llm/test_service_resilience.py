@@ -117,6 +117,74 @@ class TestOutcomes:
         assert "outcome" in table.schema.names
 
 
+class FailOnceProvider(LLMProvider):
+    """Fails each distinct prompt's first attempt, then serves it."""
+
+    model_name = "fail-once"
+
+    def __init__(self, clock):
+        self.inner = SimulatedProvider()
+        self.clock = clock
+        self.attempt_times: dict[str, list[float]] = {}
+
+    def complete(self, request: LLMRequest) -> LLMResponse:
+        times = self.attempt_times.setdefault(request.prompt, [])
+        times.append(self.clock.now)
+        if len(times) == 1:
+            raise ProviderError("first attempt always fails")
+        return self.inner.complete(request)
+
+
+class TestDefaultPolicyJitter:
+    """The service's *default* retry policy desynchronizes retry storms.
+
+    Non-zero seeded jitter, keyed on the prompt: concurrent callers that
+    failed together do not all come back at the same instant, yet every
+    delay is a pure function of (prompt, attempt) — deterministic across
+    runs and thread arrival orders.
+    """
+
+    def test_default_policy_carries_jitter(self):
+        from repro.llm.service import DEFAULT_RETRY_JITTER
+
+        service = LLMService(SimulatedProvider())
+        assert service.policy.retry.jitter == DEFAULT_RETRY_JITTER > 0
+
+    def test_schedules_desynchronize_by_prompt(self):
+        retry = LLMService(SimulatedProvider()).policy.retry
+        schedules = {
+            prompt: tuple(retry.schedule(key=prompt))
+            for prompt in (f"summarize document number {i}" for i in range(8))
+        }
+        assert len(set(schedules.values())) > 1  # not a thundering herd
+        spread = {delays[0] for delays in schedules.values()}
+        base = retry.backoff_seconds
+        assert all(base <= d <= base * (1 + retry.jitter) for d in spread)
+
+    def test_schedules_are_deterministic_across_services(self):
+        first = LLMService(SimulatedProvider()).policy.retry
+        second = LLMService(SimulatedProvider()).policy.retry
+        for prompt in ("alpha", "beta", "gamma"):
+            assert first.schedule(key=prompt) == second.schedule(key=prompt)
+
+    def test_observed_retry_waits_match_the_schedule(self):
+        clock = VirtualClock()
+        provider = FailOnceProvider(clock)
+        service = LLMService(provider, clock=clock)
+        prompts = [f"classify ticket {i}" for i in range(4)]
+        for prompt in prompts:
+            service.complete(prompt)
+        waits = {
+            prompt: times[1] - times[0]
+            for prompt, times in provider.attempt_times.items()
+        }
+        expected = {
+            prompt: service.policy.retry.delay(0, key=prompt) for prompt in prompts
+        }
+        assert waits == pytest.approx(expected)
+        assert len(set(waits.values())) > 1
+
+
 class TestDeadline:
     def test_rate_limit_storm_clock_is_bounded(self):
         policy = ResiliencePolicy(

@@ -1,0 +1,341 @@
+"""Tests for the pipelined streaming executor (workqueue tentpole).
+
+The contract under test: a linear pipeline with a chunk-capable core runs
+as a memory-bounded stream and produces a :class:`RunReport` byte-identical
+to the batch scheduler's — at any worker count, with or without a durable
+ledger, and on a pure-replay resume.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.dsl.operators import LogicalOperator
+from repro.core.dsl.pipeline import Pipeline
+from repro.core.compiler.context import CompilerContext
+from repro.core.compiler.plan import BoundOperator, PhysicalPlan
+from repro.core.modules.base import ChunkOutcome, Module
+from repro.core.modules.custom import CustomModule
+from repro.core.runtime.system import LinguaManga
+from repro.core.runtime.workqueue import (
+    ShardLedger,
+    StreamingExecutor,
+    StreamingPlanError,
+)
+from repro.core.templates.library import get_template
+from repro.datasets import StreamingERCorpus
+from repro.llm.providers import SimulatedProvider
+from repro.llm.service import LLMService
+from repro.obs import Observability
+from tests.conftest import assert_reports_identical
+
+CORPUS = StreamingERCorpus(48, seed=7)
+
+
+def er_pipeline():
+    return get_template("entity_resolution").instantiate(examples=CORPUS.examples())
+
+
+def run_streaming(
+    workers=1, ledger_path=None, sink=None, n_pairs=48, service=None, **kwargs
+):
+    corpus = StreamingERCorpus(n_pairs, seed=7)
+    system = LinguaManga(service=service)
+    report = system.run_stream(
+        er_pipeline(),
+        {"pairs": corpus.inputs()},
+        workers=workers,
+        chunk_size=8,
+        ledger_path=ledger_path,
+        source_id=corpus.fingerprint,
+        sink=sink,
+        **kwargs,
+    )
+    return report, system
+
+
+class TestByteIdentity:
+    def test_matches_batch_scheduler(self):
+        streaming, _ = run_streaming(workers=2)
+        system = LinguaManga()
+        batch = system.run(
+            er_pipeline(), {"pairs": list(CORPUS.inputs())}, workers=1, chunk_size=8
+        )
+        assert_reports_identical(streaming, batch)
+
+    def test_identical_at_any_worker_count(self):
+        reports = [run_streaming(workers=w)[0] for w in (1, 2, 8)]
+        assert_reports_identical(*reports)
+
+    def test_generator_input_never_materialized(self):
+        # The input is a one-shot generator: if anything list()-ed it, the
+        # stream would come up empty after the first pull.
+        report, _ = run_streaming(workers=2)
+        assert len(next(iter(report.outputs.values()))) == 48
+
+    def test_replay_resume_is_free_and_identical(self, tmp_path):
+        first, _ = run_streaming(workers=2, ledger_path=tmp_path / "run.wal")
+        provider = SimulatedProvider()
+        second, _ = run_streaming(
+            workers=8,
+            ledger_path=tmp_path / "run.wal",
+            service=LLMService(provider),
+        )
+        assert_reports_identical(first, second)
+        assert provider.calls_served == 0  # pure replay
+        assert second.recovery["resumed"]
+        assert second.recovery["replayed_shards"] == 6
+
+    def test_recovery_counters_shape(self):
+        report, _ = run_streaming(workers=2)
+        recovery = report.recovery
+        assert recovery["mode"] == "streaming"
+        assert recovery["shards"] == 6
+        assert recovery["journaled_shards"] == 6
+        assert recovery["spill_writes"] == 6
+        assert not recovery["resumed"]
+
+    def test_recovery_excluded_from_canonical(self):
+        report, _ = run_streaming()
+        assert "recovery" not in report.canonical_dict()
+
+
+class TestSinkMode:
+    def test_sink_streams_outputs_in_shard_order(self):
+        collected = []
+        lock = threading.Lock()
+
+        def sink(outputs):
+            with lock:
+                collected.append(list(outputs))
+
+        sink_report, _ = run_streaming(workers=4, sink=sink)
+        list_report, _ = run_streaming(workers=1)
+        flat = [v for batch in collected for v in batch]
+        assert flat == next(iter(list_report.outputs.values()))
+        summary = next(iter(sink_report.outputs.values()))
+        assert summary["records"] == 48
+
+    def test_sink_digest_deterministic(self):
+        a, _ = run_streaming(workers=1, sink=lambda outputs: None)
+        b, _ = run_streaming(workers=8, sink=lambda outputs: None)
+        assert_reports_identical(a, b)
+
+
+class TestObservability:
+    def test_shard_spans_and_queue_metrics(self):
+        corpus = StreamingERCorpus(24, seed=7)
+        obs = Observability()
+        system = LinguaManga(obs=obs)
+        system.run_stream(
+            er_pipeline(), {"pairs": corpus.inputs()}, workers=2, chunk_size=8,
+            source_id=corpus.fingerprint,
+        )
+        run_root = obs.tracer.roots[0]
+        shard_spans = [s for s in run_root.children if s.kind == "shard"]
+        assert [s.name for s in shard_spans] == [f"shard[{i}]" for i in range(3)]
+        assert sum(s.attributes["records"] for s in shard_spans) == 24
+        names = set(obs.metrics.as_dict())
+        assert "workqueue.depth" in names
+        assert "spill.writes" in names
+
+
+# -- hand-built plans for failure-path tests ------------------------------------
+
+
+class Flaky(Module):
+    """Chunk-capable toy module that fails on chunks containing a marker."""
+
+    chunk_capable = True
+
+    def __init__(self, name="flaky"):
+        super().__init__(name)
+
+    def _run(self, value):
+        return [v * 2 for v in value]
+
+    def apply_chunk(self, chunk):
+        if any(v == "POISON" for v in chunk):
+            raise RuntimeError("poison pill")
+        return ChunkOutcome(outputs=[v * 2 for v in chunk])
+
+
+def toy_plan(middle=None):
+    pipeline = Pipeline(name="toy")
+    pipeline.add(LogicalOperator(name="src", kind="load", params={}, inputs=[]))
+    pipeline.add(
+        LogicalOperator(name="work", kind="transform", params={}, inputs=["src"])
+    )
+    pipeline.add(
+        LogicalOperator(name="out", kind="save", params={}, inputs=["work"])
+    )
+    context = CompilerContext()
+    bound = [
+        BoundOperator(
+            operator=pipeline.operators[0],
+            module=CustomModule("src", lambda inputs: inputs["records"]),
+        ),
+        BoundOperator(operator=pipeline.operators[1], module=middle or Flaky("work")),
+        BoundOperator(
+            operator=pipeline.operators[2], module=CustomModule("out", lambda v: v)
+        ),
+    ]
+    return PhysicalPlan(pipeline=pipeline, bound=bound, context=context)
+
+
+def run_toy(records, tmp_path, name="run.wal", workers=1, max_attempts=2, **kwargs):
+    plan = toy_plan()
+    ledger = ShardLedger(tmp_path / name)
+    executor = StreamingExecutor(
+        plan, ledger=ledger, workers=workers, chunk_size=2,
+        max_attempts=max_attempts, source_id="toy", **kwargs,
+    )
+    try:
+        return executor.execute({"records": iter(records)})
+    finally:
+        ledger.close()
+
+
+class TestPoisonQuarantine:
+    def test_poison_shard_quarantined_not_fatal(self, tmp_path):
+        records = [1, 2, "POISON", 4, 5, 6]
+        report = run_toy(records, tmp_path)
+        assert report.partial
+        assert next(iter(report.outputs.values())) == [2, 4, 10, 12]
+        assert len(report.quarantine) == 2  # the poison shard's records
+        assert all("poisoned after 2 attempt(s)" in q.error for q in report.quarantine)
+        assert all(q.module_name == "work" for q in report.quarantine)
+        assert report.recovery["quarantined_shards"] == 1
+        assert report.recovery["shard_failures"] == 2
+
+    def test_poison_reported_in_resilience_and_stats(self, tmp_path):
+        report = run_toy([1, 2, "POISON", 4], tmp_path)
+        assert report.resilience["work"].quarantined == 2
+        assert report.resilience["work"].degraded == 0
+        assert "failures=2" in report.module_stats["work"]
+
+    def test_poison_replay_identical_without_reexecution(self, tmp_path):
+        records = [1, 2, "POISON", 4, 5, 6]
+        first = run_toy(records, tmp_path)
+        second = run_toy(records, tmp_path)
+        assert_reports_identical(first, second)
+        assert second.recovery["resumed"]
+        assert second.recovery["shard_failures"] == 0  # never re-executed
+
+    def test_healthy_shards_unaffected_at_higher_workers(self, tmp_path):
+        records = [1, 2, "POISON", 4, 5, 6, 7, 8]
+        a = run_toy(records, tmp_path, name="a.wal", workers=1)
+        b = run_toy(records, tmp_path, name="b.wal", workers=4)
+        assert_reports_identical(a, b)
+
+
+class TestPlanValidation:
+    def test_rejects_non_linear_plans(self, tmp_path):
+        pipeline = Pipeline(name="diamond")
+        pipeline.add(LogicalOperator(name="a", kind="load", params={}, inputs=[]))
+        pipeline.add(
+            LogicalOperator(name="b", kind="transform", params={}, inputs=["a"])
+        )
+        pipeline.add(
+            LogicalOperator(
+                name="c", kind="custom", params={}, inputs=["a", "b"]
+            )
+        )
+        context = CompilerContext()
+        bound = [
+            BoundOperator(
+                operator=pipeline.operators[0],
+                module=CustomModule("a", lambda v: v),
+            ),
+            BoundOperator(operator=pipeline.operators[1], module=Flaky("b")),
+            BoundOperator(
+                operator=pipeline.operators[2],
+                module=CustomModule("c", lambda v: v),
+            ),
+        ]
+        plan = PhysicalPlan(pipeline=pipeline, bound=bound, context=context)
+        ledger = ShardLedger(tmp_path / "run.wal")
+        executor = StreamingExecutor(plan, ledger=ledger)
+        with pytest.raises(StreamingPlanError):
+            executor.execute({})
+
+    def test_rejects_plans_without_chunkable_core(self, tmp_path):
+        pipeline = Pipeline(name="flat")
+        pipeline.add(LogicalOperator(name="a", kind="load", params={}, inputs=[]))
+        context = CompilerContext()
+        bound = [
+            BoundOperator(
+                operator=pipeline.operators[0],
+                module=CustomModule("a", lambda v: v),
+            )
+        ]
+        plan = PhysicalPlan(pipeline=pipeline, bound=bound, context=context)
+        executor = StreamingExecutor(plan, ledger=ShardLedger(tmp_path / "x.wal"))
+        with pytest.raises(StreamingPlanError):
+            executor.execute({})
+
+    def test_sink_mode_requires_save_suffix(self, tmp_path):
+        pipeline = Pipeline(name="toy2")
+        pipeline.add(LogicalOperator(name="src", kind="load", params={}, inputs=[]))
+        pipeline.add(
+            LogicalOperator(name="work", kind="transform", params={}, inputs=["src"])
+        )
+        pipeline.add(
+            LogicalOperator(
+                name="post", kind="custom", params={}, inputs=["work"]
+            )
+        )
+        context = CompilerContext()
+        bound = [
+            BoundOperator(
+                operator=pipeline.operators[0],
+                module=CustomModule("src", lambda inputs: inputs["records"]),
+            ),
+            BoundOperator(operator=pipeline.operators[1], module=Flaky("work")),
+            BoundOperator(
+                operator=pipeline.operators[2],
+                module=CustomModule("post", lambda v: v),
+            ),
+        ]
+        plan = PhysicalPlan(pipeline=pipeline, bound=bound, context=context)
+        executor = StreamingExecutor(
+            plan, ledger=ShardLedger(tmp_path / "y.wal"), sink=lambda outputs: None
+        )
+        with pytest.raises(StreamingPlanError):
+            executor.execute({"records": [1]})
+
+
+class TestMemoryBounding:
+    def test_window_bounds_in_flight_shards(self, tmp_path):
+        high_water = {"value": 0}
+
+        class Watcher(Flaky):
+            def apply_chunk(self, chunk):
+                outcome = super().apply_chunk(chunk)
+                return outcome
+
+        plan = toy_plan(middle=Watcher("work"))
+        ledger = ShardLedger(tmp_path / "run.wal")
+        executor = StreamingExecutor(
+            plan, ledger=ledger, workers=2, chunk_size=2, window=3, source_id="toy"
+        )
+        original = executor.__class__._fold_ready
+
+        def tracking_fold(self):
+            if self.queue is not None:
+                with self.queue._cond:
+                    high_water["value"] = max(
+                        high_water["value"], len(self.queue._shards)
+                    )
+            original(self)
+
+        executor._fold_ready = tracking_fold.__get__(executor)
+        try:
+            report = executor.execute({"records": iter(range(40))})
+        finally:
+            ledger.close()
+        assert next(iter(report.outputs.values())) == [v * 2 for v in range(40)]
+        # Never more than the window's worth of shards resident at once.
+        assert 0 < high_water["value"] <= 3

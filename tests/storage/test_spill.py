@@ -1,0 +1,98 @@
+"""Tests for the disk spill store (streaming shard scratch space)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runtime.checkpoint import decode_value, encode_value
+from repro.llm.faults import TriggerPoint
+from repro.storage import SpillStore, SpillWriteError
+
+
+class TestSpillRoundTrip:
+    def test_put_get_remove(self, tmp_path):
+        store = SpillStore(tmp_path / "spill")
+        records = [{"left": "a", "n": 1}, {"left": "b", "n": 2}]
+        written = store.put("0", records)
+        assert written > 0
+        assert store.get("0") == records
+        assert len(store) == 1
+        freed = store.remove("0")
+        assert freed == written
+        assert len(store) == 0
+        assert store.spilled_bytes == 0
+
+    def test_checkpoint_codec_preserves_tuples(self, tmp_path):
+        store = SpillStore(tmp_path, encode=encode_value, decode=decode_value)
+        records = [("pair", {"abv": "5.0%"}), ("pair", {"abv": "6.1%"})]
+        store.put("7", records)
+        assert store.get("7") == records
+
+    def test_reput_replaces_not_accumulates(self, tmp_path):
+        store = SpillStore(tmp_path)
+        store.put("0", [{"x": 1}])
+        first = store.spilled_bytes
+        store.put("0", [{"x": 1}])
+        assert store.spilled_bytes == first
+        assert len(store) == 1
+
+    def test_clear_drops_everything(self, tmp_path):
+        store = SpillStore(tmp_path)
+        for key in ("0", "1", "2"):
+            store.put(key, [{"k": key}])
+        store.clear()
+        assert len(store) == 0
+        assert store.spilled_bytes == 0
+        assert not list(store.directory.glob("*.spill"))
+
+
+class TestSpillBudget:
+    def test_has_room_tracks_budget(self, tmp_path):
+        store = SpillStore(tmp_path, budget_bytes=64)
+        assert store.has_room(10)
+        store.put("0", [{"pad": "x" * 40}])
+        assert not store.has_room(40)
+        store.remove("0")
+        assert store.has_room(40)
+
+    def test_put_never_refuses_over_budget(self, tmp_path):
+        # The budget throttles materialization; work already pulled from
+        # the source must always be spillable.
+        store = SpillStore(tmp_path, budget_bytes=8)
+        store.put("0", [{"pad": "x" * 100}])
+        assert store.spilled_bytes > store.budget_bytes
+
+    def test_peak_bytes_high_watermark(self, tmp_path):
+        store = SpillStore(tmp_path)
+        store.put("0", [{"pad": "x" * 50}])
+        store.put("1", [{"pad": "x" * 50}])
+        peak = store.spilled_bytes
+        store.remove("0")
+        store.remove("1")
+        assert store.peak_bytes == peak
+        assert store.spilled_bytes == 0
+
+    def test_rejects_non_positive_budget(self, tmp_path):
+        with pytest.raises(ValueError):
+            SpillStore(tmp_path, budget_bytes=0)
+
+
+class TestSpillFaults:
+    def test_injected_write_failure(self, tmp_path):
+        fault = TriggerPoint("spill:write", hits=2)
+        store = SpillStore(tmp_path, write_fault=fault)
+        store.put("0", [{"x": 1}])
+        with pytest.raises(SpillWriteError):
+            store.put("1", [{"x": 2}])
+        assert store.write_failures == 1
+        # A retry of the same key succeeds (the trigger fires once).
+        store.put("1", [{"x": 2}])
+        assert store.get("1") == [{"x": 2}]
+
+    def test_failed_write_leaves_accounting_untouched(self, tmp_path):
+        fault = TriggerPoint("spill:write", hits=1)
+        store = SpillStore(tmp_path, write_fault=fault)
+        with pytest.raises(SpillWriteError):
+            store.put("0", [{"x": 1}])
+        assert store.spilled_bytes == 0
+        assert len(store) == 0
