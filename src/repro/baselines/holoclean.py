@@ -19,8 +19,11 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.datasets.imputation import ImputationRecord
 from repro.ml.metrics import accuracy
+from repro.storage.columnar import resolve_columnar
 
 __all__ = ["HoloCleanImputer", "evaluate_holoclean"]
 
@@ -40,9 +43,13 @@ class HoloCleanImputer:
     """Co-occurrence voting over frequent categorical tokens."""
 
     min_token_frequency: int = 25
+    columnar: bool | None = None  # None: follow the ambient columnar mode
     _exact: dict[str, Counter] = field(default_factory=dict, repr=False)
     _token_votes: dict[str, Counter] = field(default_factory=dict, repr=False)
     _prior: Counter = field(default_factory=Counter, repr=False)
+    _vote_matrix: "np.ndarray | None" = field(default=None, repr=False)
+    _vote_token_ids: dict[str, int] = field(default_factory=dict, repr=False)
+    _labels: tuple[str, ...] = field(default=(), repr=False)
 
     def fit(self, observed: list[ImputationRecord]) -> "HoloCleanImputer":
         """Learn statistics from records whose manufacturer is observed."""
@@ -64,6 +71,20 @@ class HoloCleanImputer:
             for token, votes in raw_votes.items()
             if token_frequency[token] >= self.min_token_frequency
         }
+        # Columnar side tables: labels in sorted order (so argmax's
+        # first-maximum tie-break IS the alphabetical tie-break of
+        # ``_top_vote``) and one int row of votes per frequent token.
+        self._labels = tuple(sorted(self._prior))
+        label_ids = {label: k for k, label in enumerate(self._labels)}
+        self._vote_token_ids = {
+            token: t for t, token in enumerate(sorted(self._token_votes))
+        }
+        self._vote_matrix = np.zeros(
+            (len(self._vote_token_ids), len(self._labels)), dtype=np.int64
+        )
+        for token, t in self._vote_token_ids.items():
+            for label, count in self._token_votes[token].items():
+                self._vote_matrix[t, label_ids[label]] = count
         return self
 
     def predict_one(self, record: dict) -> str:
@@ -82,8 +103,56 @@ class HoloCleanImputer:
         return _top_vote(self._prior)
 
     def predict(self, records: list[dict]) -> list[str]:
-        """Repair a batch of records."""
+        """Repair a batch of records.
+
+        The columnar path accumulates every record's token votes in one
+        integer matrix pass; votes are exact counts, so it agrees with
+        :meth:`predict_one` on every record.
+        """
+        if resolve_columnar(self.columnar):
+            return self._predict_columnar(records)
         return [self.predict_one(record) for record in records]
+
+    def _predict_columnar(self, records: list[dict]) -> list[str]:
+        if not self._prior:
+            raise RuntimeError("imputer is not fitted; call fit() first")
+        if not records:
+            return []
+        assert self._vote_matrix is not None
+        names = [str(record.get("name", "")).lower() for record in records]
+        out: list[str | None] = [None] * len(records)
+        exact_cache: dict[str, str] = {}
+        open_rows: list[int] = []
+        entry_rows: list[int] = []
+        entry_tokens: list[int] = []
+        for i, name in enumerate(names):
+            if name in self._exact:
+                if name not in exact_cache:
+                    exact_cache[name] = _top_vote(self._exact[name])
+                out[i] = exact_cache[name]
+                continue
+            open_rows.append(i)
+            row = len(open_rows) - 1
+            for token in set(name.split()):
+                t = self._vote_token_ids.get(token)
+                if t is not None:
+                    entry_rows.append(row)
+                    entry_tokens.append(t)
+        prior_top = _top_vote(self._prior)
+        if open_rows:
+            votes = np.zeros((len(open_rows), len(self._labels)), dtype=np.int64)
+            if entry_rows:
+                np.add.at(
+                    votes,
+                    np.asarray(entry_rows, dtype=np.int64),
+                    self._vote_matrix[np.asarray(entry_tokens, dtype=np.int64)],
+                )
+            winners = np.argmax(votes, axis=1)
+            voted = votes.sum(axis=1) > 0
+            for row, i in enumerate(open_rows):
+                out[i] = self._labels[winners[row]] if voted[row] else prior_top
+        # Every index was filled by the exact path or the open-rows path.
+        return [value for value in out if value is not None]
 
 
 def evaluate_holoclean(

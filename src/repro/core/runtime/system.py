@@ -122,6 +122,7 @@ class LinguaManga:
         checkpoint_path: "str | Any | None" = None,
         resume: bool = True,
         checkpoint: "Any | None" = None,
+        columnar: bool | None = None,
     ) -> RunReport:
         """Compile and execute in one step.
 
@@ -140,7 +141,14 @@ class LinguaManga:
         ``checkpoint=`` instead for crash injection or custom fsync
         batching.  Checkpointed runs default to ``workers=1`` (chunked
         execution is what the journal records).
+
+        ``columnar`` pins the columnar-execution mode for the run's local
+        hot paths (blocking, similarity features — see
+        :mod:`repro.storage.columnar`); ``None`` keeps the ambient default.
+        Both modes produce byte-identical reports.
         """
+        from repro.storage.columnar import columnar_mode, resolve_columnar
+
         if checkpoint is not None and checkpoint_path is not None:
             raise ValueError("pass checkpoint= or checkpoint_path=, not both")
         if checkpoint is None and checkpoint_path is not None:
@@ -150,12 +158,13 @@ class LinguaManga:
         if checkpoint is not None and workers is None:
             workers = 1
         try:
-            return self.compile(pipeline).execute(
-                inputs,
-                workers=workers,
-                chunk_size=chunk_size,
-                checkpoint=checkpoint,
-            )
+            with columnar_mode(resolve_columnar(columnar)):
+                return self.compile(pipeline).execute(
+                    inputs,
+                    workers=workers,
+                    chunk_size=chunk_size,
+                    checkpoint=checkpoint,
+                )
         finally:
             if checkpoint is not None:
                 checkpoint.close()

@@ -1,5 +1,14 @@
 """Relational storage substrate: typed tables, a SQL subset, a catalog."""
 
+from repro.storage.columnar import (
+    ColumnarBlock,
+    TokenColumn,
+    Vocabulary,
+    columnar_mode,
+    default_columnar,
+    resolve_columnar,
+    set_default_columnar,
+)
 from repro.storage.database import Database, QueryLogEntry
 from repro.storage.spill import SpillStore, SpillWriteError
 from repro.storage.sql.executor import SqlExecutionError, execute_statement
@@ -8,6 +17,13 @@ from repro.storage.sql.parser import SqlParseError, parse_sql
 from repro.storage.table import Column, ColumnType, Schema, Table
 
 __all__ = [
+    "ColumnarBlock",
+    "TokenColumn",
+    "Vocabulary",
+    "columnar_mode",
+    "default_columnar",
+    "resolve_columnar",
+    "set_default_columnar",
     "Database",
     "QueryLogEntry",
     "SpillStore",

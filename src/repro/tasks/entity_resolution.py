@@ -70,6 +70,7 @@ def run_lingua_manga_er(
     checkpoint_path: str | None = None,
     resume: bool = True,
     checkpoint: Any = None,
+    columnar: bool | None = None,
 ) -> ERResult:
     """Instantiate the ER template, run it on the test split, score F1.
 
@@ -92,6 +93,7 @@ def run_lingua_manga_er(
         checkpoint_path=checkpoint_path,
         resume=resume,
         checkpoint=checkpoint,
+        columnar=columnar,
     )
     after = system.usage()
     verdicts = next(iter(report.outputs.values()))

@@ -71,6 +71,7 @@ def run_llm_imputation(
     checkpoint_path: str | None = None,
     resume: bool = True,
     checkpoint: Any = None,
+    columnar: bool | None = None,
 ) -> ImputationResult:
     """Pure LLM-module pipeline: one (validated) prompt per record.
 
@@ -92,6 +93,7 @@ def run_llm_imputation(
         checkpoint_path=checkpoint_path,
         resume=resume,
         checkpoint=checkpoint,
+        columnar=columnar,
     )
     after = system.usage()
     return _score(
@@ -112,6 +114,7 @@ def run_hybrid_imputation(
     checkpoint_path: str | None = None,
     resume: bool = True,
     checkpoint: Any = None,
+    columnar: bool | None = None,
 ) -> ImputationResult:
     """The expert template: LLMGC rules + LLM escalation (Figure 4).
 
@@ -130,6 +133,7 @@ def run_hybrid_imputation(
         checkpoint_path=checkpoint_path,
         resume=resume,
         checkpoint=checkpoint,
+        columnar=columnar,
     )
     after = system.usage()
     return _score(

@@ -65,6 +65,7 @@ def run_name_extraction(
     checkpoint_path: str | None = None,
     resume: bool = True,
     checkpoint: Any = None,
+    columnar: bool | None = None,
 ) -> NameExtractionResult:
     """Run the Figure 3 template over ``documents`` and score it.
 
@@ -82,6 +83,7 @@ def run_name_extraction(
         checkpoint_path=checkpoint_path,
         resume=resume,
         checkpoint=checkpoint,
+        columnar=columnar,
     )
     after = system.usage()
     enriched = next(iter(report.outputs.values()))

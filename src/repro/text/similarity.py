@@ -1,9 +1,20 @@
-"""String similarity metrics.
+"""String similarity metrics, scalar and vectorized.
 
 These metrics are the backbone of the classical entity-resolution baselines
 (Magellan-style feature vectors, paper Table 1) and of the blocking stage of
 the built-in entity-resolution template.  All functions return a similarity
 in ``[0, 1]`` where ``1`` means identical.
+
+Every metric exists in two forms: the original **scalar** implementation
+(one pair per call, plain Python) and a **batch** ``*_many`` variant that
+evaluates many pairs at once over the columnar encodings of
+:mod:`repro.storage.columnar` (padded codepoint matrices for edit metrics,
+token-id sets over a shared vocabulary for set metrics).  The scalar forms
+are the semantic oracle: the batch forms are property-tested against them
+(`tests/text/test_columnar_equivalence.py`) — bit-exact for the integer-
+derived metrics (Levenshtein, the set family, Jaro/Jaro-Winkler,
+Monge-Elkan) and within ``1e-12`` for the accumulation-order-sensitive ones
+(cosine, TF-IDF cosine).
 """
 
 from __future__ import annotations
@@ -12,6 +23,9 @@ import math
 from collections import Counter
 from typing import Iterable, Sequence
 
+import numpy as np
+
+from repro.storage.columnar import Vocabulary, pack_codepoints
 from repro.text.tokenize import char_ngrams, word_tokenize
 
 __all__ = [
@@ -28,6 +42,16 @@ __all__ = [
     "monge_elkan_similarity",
     "numeric_similarity",
     "TfIdfModel",
+    "levenshtein_distance_many",
+    "levenshtein_similarity_many",
+    "jaro_similarity_many",
+    "jaro_winkler_similarity_many",
+    "jaccard_similarity_many",
+    "overlap_coefficient_many",
+    "dice_similarity_many",
+    "cosine_similarity_many",
+    "monge_elkan_similarity_many",
+    "numeric_similarity_many",
 ]
 
 
@@ -206,24 +230,40 @@ class TfIdfModel:
         df: Counter[str] = Counter()
         for doc in corpus:
             df.update(set(word_tokenize(doc.lower())))
+        # Sorted insertion pins the vocabulary order: document-frequency ties
+        # (and therefore idf ties) would otherwise surface in corpus/hash
+        # iteration order, which differs across platforms and processes.
         self._idf = {
-            token: math.log((1 + self._doc_count) / (1 + count)) + 1.0
-            for token, count in df.items()
+            token: math.log((1 + self._doc_count) / (1 + df[token])) + 1.0
+            for token in sorted(df)
         }
         self._default_idf = math.log(1 + self._doc_count) + 1.0
+        self._vector_cache: dict[str, dict[str, float]] = {}
+
+    def vocabulary(self) -> tuple[str, ...]:
+        """Fitted tokens in their pinned (sorted) order."""
+        return tuple(self._idf)
 
     def idf(self, token: str) -> float:
         """Inverse document frequency of ``token`` (unseen tokens weigh most)."""
         return self._idf.get(token, self._default_idf)
 
+    def _vector(self, text: str) -> dict[str, float]:
+        """Memoized sparse vector (tokenize + weigh each text only once)."""
+        cached = self._vector_cache.get(text)
+        if cached is None:
+            counts = Counter(word_tokenize(text.lower()))
+            cached = {token: count * self.idf(token) for token, count in counts.items()}
+            self._vector_cache[text] = cached
+        return cached
+
     def vector(self, text: str) -> dict[str, float]:
-        """Sparse TF-IDF vector of ``text``."""
-        counts = Counter(word_tokenize(text.lower()))
-        return {token: count * self.idf(token) for token, count in counts.items()}
+        """Sparse TF-IDF vector of ``text`` (a fresh copy; safe to mutate)."""
+        return dict(self._vector(text))
 
     def similarity(self, a: str, b: str) -> float:
         """TF-IDF-weighted cosine between two strings."""
-        va, vb = self.vector(a), self.vector(b)
+        va, vb = self._vector(a), self._vector(b)
         if not va and not vb:
             return 1.0
         if not va or not vb:
@@ -232,6 +272,55 @@ class TfIdfModel:
         na = math.sqrt(sum(v * v for v in va.values()))
         nb = math.sqrt(sum(v * v for v in vb.values()))
         return min(1.0, dot / (na * nb))
+
+    def similarity_many(
+        self, a: Sequence[str], b: Sequence[str]
+    ) -> np.ndarray:
+        """Batched TF-IDF cosine over aligned pairs, as sparse array ops.
+
+        Equivalent to ``[self.similarity(x, y) for x, y in zip(a, b)]``
+        within ``1e-12`` (summation order differs from the scalar path).
+        """
+        if len(a) != len(b):
+            raise ValueError("batch sides must have equal length")
+        n = len(a)
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        counts: dict[str, Counter] = {}
+        for text in a:
+            if text not in counts:
+                counts[text] = Counter(word_tokenize(text.lower()))
+        for text in b:
+            if text not in counts:
+                counts[text] = Counter(word_tokenize(text.lower()))
+        vocab = Vocabulary(
+            token for counter in counts.values() for token in counter
+        )
+        idf = np.fromiter(
+            (self.idf(token) for token in vocab.tokens),
+            dtype=np.float64,
+            count=len(vocab),
+        )
+        keys_a, weights_a, rows_a = _weighted_rows(a, counts, vocab, idf)
+        keys_b, weights_b, rows_b = _weighted_rows(b, counts, vocab, idf)
+        _, ia, ib = np.intersect1d(
+            keys_a, keys_b, assume_unique=True, return_indices=True
+        )
+        stride = max(len(vocab), 1)
+        dot = np.bincount(
+            (keys_a[ia] // stride).astype(np.int64),
+            weights=weights_a[ia] * weights_b[ib],
+            minlength=n,
+        )
+        norm_a = np.sqrt(np.bincount(rows_a, weights=weights_a**2, minlength=n))
+        norm_b = np.sqrt(np.bincount(rows_b, weights=weights_b**2, minlength=n))
+        empty_a = norm_a == 0.0
+        empty_b = norm_b == 0.0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            result = np.minimum(1.0, dot / (norm_a * norm_b))
+        result = np.where(empty_a & empty_b, 1.0, result)
+        result = np.where(empty_a ^ empty_b, 0.0, result)
+        return result
 
 
 def tfidf_cosine(a: str, b: str, corpus: Sequence[str]) -> float:
@@ -284,3 +373,560 @@ def qgram_similarity(a: str, b: str, q: int = 3) -> float:
 
 
 __all__.append("qgram_similarity")
+__all__.append("qgram_similarity_many")
+
+
+# ---------------------------------------------------------------------------
+# Vectorized batch variants
+# ---------------------------------------------------------------------------
+#
+# Each ``*_many`` function evaluates one metric over aligned pair batches
+# ``(a[i], b[i])`` and returns a float64 (or int64) array.  They exist for
+# throughput only — semantics are defined by the scalar functions above.
+
+_INF = np.int64(1) << 40
+
+
+def _normalize_band(
+    max_distance: "int | Sequence[int] | np.ndarray | None", n: int
+) -> np.ndarray | None:
+    if max_distance is None:
+        return None
+    band = np.broadcast_to(np.asarray(max_distance, dtype=np.int64), (n,)).copy()
+    if (band < 0).any():
+        raise ValueError("max_distance must be non-negative")
+    return band
+
+
+def _levenshtein_codes(
+    codes_a: np.ndarray,
+    len_a: np.ndarray,
+    codes_b: np.ndarray,
+    len_b: np.ndarray,
+    band: np.ndarray | None,
+) -> np.ndarray:
+    """Vectorized edit-distance DP across a pair batch.
+
+    One Python iteration per character row of the left side; the column
+    recurrence (which is sequential in j) is closed in one vectorized pass
+    with the running-minimum identity
+    ``cur[j] = j + min_{k<=j}(t[k] - k)`` where ``t`` is the column-wise
+    minimum of the deletion/substitution candidates.  With ``band`` the
+    cells outside each pair's diagonal band stay at infinity and a pair
+    whose whole row exceeds its budget is frozen (its final clamp to
+    ``band + 1`` is already decided) — the batched analogue of the scalar
+    banded early exit.
+    """
+    n, width_a = codes_a.shape
+    width_b = codes_b.shape[1]
+    # int32 state halves memory traffic; DP values are bounded by the
+    # string widths except for the _INF32 band sentinel, which stays well
+    # inside int32 range (and bands beyond it simply never mask a cell).
+    inf32 = np.int32(1) << 30
+    j = np.arange(width_b + 1, dtype=np.int32)
+    prev = np.broadcast_to(j, (n, width_b + 1)).copy()
+    if band is not None:
+        band = np.minimum(band, np.int64(inf32)).astype(np.int32)
+        prev[j[None, :] > band[:, None]] = inf32
+    result = np.empty(n, dtype=np.int64)
+    rows = np.arange(n, dtype=np.int64)  # original index of each live row
+    alive = np.ones(n, dtype=bool)  # live = final value not yet emitted
+    for i in range(1, width_a + 1):
+        exhausted = alive & (len_a < i)
+        if exhausted.any():
+            result[rows[exhausted]] = prev[exhausted, len_b[exhausted]]
+            alive &= ~exhausted
+        if not alive.any():
+            return result
+        if len(alive) >= 2 * int(alive.sum()):
+            # Over half the batch is settled (band exceeded or left string
+            # exhausted): compact to the live rows — the batched analogue
+            # of the scalar banded early exit.
+            rows, codes_a, len_a, codes_b, len_b, prev = (
+                rows[alive],
+                codes_a[alive],
+                len_a[alive],
+                codes_b[alive],
+                len_b[alive],
+                prev[alive],
+            )
+            if band is not None:
+                band = band[alive]
+            alive = np.ones(len(rows), dtype=bool)
+        cost = (codes_b != codes_a[:, i - 1][:, None]).astype(np.int32)
+        tmp = np.minimum(prev[:, :-1] + cost, prev[:, 1:] + 1)
+        head = np.full((len(rows), 1), i, dtype=np.int32)
+        if band is not None:
+            head[i > band, 0] = inf32
+        t = np.concatenate([head, tmp], axis=1)
+        cur = np.minimum.accumulate(t - j, axis=1) + j
+        if band is not None:
+            cur[np.abs(j[None, :] - np.int32(i)) > band[:, None]] = inf32
+        # Rows no longer alive already emitted their result; their state
+        # may churn harmlessly until the next compaction drops them.
+        prev = cur
+        if band is not None:
+            frozen = alive & (cur.min(axis=1) > band)
+            if frozen.any():
+                # The freeze-iteration values are final, exactly as the
+                # scalar band abandons with the current row's state.
+                result[rows[frozen]] = cur[frozen, len_b[frozen]]
+                alive &= ~frozen
+            if not alive.any():
+                return result
+    result[rows[alive]] = prev[alive, len_b[alive]]
+    return result
+
+
+def levenshtein_distance_many(
+    a: Sequence[str],
+    b: Sequence[str],
+    max_distance: "int | Sequence[int] | np.ndarray | None" = None,
+) -> np.ndarray:
+    """Batched :func:`levenshtein_distance` (``max_distance`` may be per-pair).
+
+    Returns exact distances, clamped to ``max_distance + 1`` per pair when a
+    band is given — identical to the scalar banded sentinel contract.
+    """
+    if len(a) != len(b):
+        raise ValueError("batch sides must have equal length")
+    band = _normalize_band(max_distance, len(a))
+    if not len(a):
+        return np.empty(0, dtype=np.int64)
+    codes_a, len_a = pack_codepoints(a, fill=-1)
+    codes_b, len_b = pack_codepoints(b, fill=-2)
+    distance = _levenshtein_codes(codes_a, len_a, codes_b, len_b, band)
+    if band is not None:
+        distance = np.minimum(distance, band + 1)
+    return distance
+
+
+def levenshtein_similarity_many(a: Sequence[str], b: Sequence[str]) -> np.ndarray:
+    """Batched :func:`levenshtein_similarity`."""
+    distance = levenshtein_distance_many(a, b)
+    len_a = np.fromiter((len(t) for t in a), dtype=np.int64, count=len(a))
+    len_b = np.fromiter((len(t) for t in b), dtype=np.int64, count=len(b))
+    longest = np.maximum(len_a, len_b)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        result = 1.0 - distance / longest
+    return np.where(longest == 0, 1.0, result)
+
+
+def _jaro_codes(
+    codes_a: np.ndarray,
+    len_a: np.ndarray,
+    codes_b: np.ndarray,
+    len_b: np.ndarray,
+) -> np.ndarray:
+    """Vectorized Jaro kernel (greedy window matching, then transpositions)."""
+    n, width_a = codes_a.shape
+    width_b = codes_b.shape[1]
+    if width_a == 0 or width_b == 0:
+        # A whole side of the batch is empty strings: no matches anywhere.
+        return np.zeros(n, dtype=np.float64)
+    window = np.maximum(np.maximum(len_a, len_b) // 2 - 1, 0)
+    a_flags = np.zeros((n, width_a), dtype=bool)
+    b_flags = np.zeros((n, width_b), dtype=bool)
+    j = np.arange(width_b)
+    for i in range(width_a):
+        active = i < len_a
+        if not active.any():
+            break
+        eligible = (
+            active[:, None]
+            & (j[None, :] >= (i - window)[:, None])
+            & (j[None, :] < np.minimum(len_b, i + window + 1)[:, None])
+            & ~b_flags
+            & (codes_b == codes_a[:, i][:, None])
+        )
+        hit = eligible.any(axis=1)
+        rows = np.nonzero(hit)[0]
+        b_flags[rows, eligible.argmax(axis=1)[rows]] = True
+        a_flags[rows, i] = True
+    matches = a_flags.sum(axis=1)
+    row_a, pos_a = np.nonzero(a_flags)
+    row_b, pos_b = np.nonzero(b_flags)
+    # nonzero() is row-major: both extractions list each pair's matched
+    # characters in ascending position — exactly the scalar pairing order.
+    mismatch = codes_a[row_a, pos_a] != codes_b[row_b, pos_b]
+    transpositions = np.bincount(row_a[mismatch], minlength=n) // 2
+    m = matches.astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        jaro = (m / len_a + m / len_b + (m - transpositions) / m) / 3.0
+    return np.where(matches == 0, 0.0, jaro)
+
+
+def jaro_similarity_many(a: Sequence[str], b: Sequence[str]) -> np.ndarray:
+    """Batched :func:`jaro_similarity`."""
+    if len(a) != len(b):
+        raise ValueError("batch sides must have equal length")
+    if not len(a):
+        return np.empty(0, dtype=np.float64)
+    codes_a, len_a = pack_codepoints(a, fill=-1)
+    codes_b, len_b = pack_codepoints(b, fill=-2)
+    jaro = _jaro_codes(codes_a, len_a, codes_b, len_b)
+    equal = np.fromiter((x == y for x, y in zip(a, b)), dtype=bool, count=len(a))
+    return np.where(equal, 1.0, jaro)
+
+
+def jaro_winkler_similarity_many(
+    a: Sequence[str], b: Sequence[str], prefix_scale: float = 0.1
+) -> np.ndarray:
+    """Batched :func:`jaro_winkler_similarity`."""
+    if len(a) != len(b):
+        raise ValueError("batch sides must have equal length")
+    if not len(a):
+        return np.empty(0, dtype=np.float64)
+    codes_a, len_a = pack_codepoints(a, fill=-1)
+    codes_b, len_b = pack_codepoints(b, fill=-2)
+    jaro = _jaro_codes(codes_a, len_a, codes_b, len_b)
+    equal = np.fromiter((x == y for x, y in zip(a, b)), dtype=bool, count=len(a))
+    jaro = np.where(equal, 1.0, jaro)
+    depth = min(4, codes_a.shape[1], codes_b.shape[1])
+    if depth:
+        cols = np.arange(depth)
+        leading = (
+            (codes_a[:, :depth] == codes_b[:, :depth])
+            & (cols[None, :] < len_a[:, None])
+            & (cols[None, :] < len_b[:, None])
+        )
+        prefix = np.cumprod(leading, axis=1).sum(axis=1)
+    else:
+        prefix = np.zeros(len(len_a), dtype=np.int64)
+    return jaro + prefix * prefix_scale * (1.0 - jaro)
+
+
+def _cached_word_sets(
+    items: Sequence["Iterable[str] | str"], cache: dict[str, frozenset]
+) -> list[frozenset]:
+    rows: list[frozenset] = []
+    for item in items:
+        if isinstance(item, str):
+            row = cache.get(item)
+            if row is None:
+                row = frozenset(word_tokenize(item.lower()))
+                cache[item] = row
+            rows.append(row)
+        else:
+            rows.append(frozenset(item))
+    return rows
+
+
+def _set_rows_keys(
+    rows: list[frozenset], vocab: Vocabulary, stride: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-row token-id keys ``row * stride + id`` plus row sizes.
+
+    Key order within a row is arbitrary (frozenset iteration):
+    ``np.intersect1d`` sorts internally and every consumer derives only
+    order-free quantities (sizes, intersection counts), so no per-row sort
+    is spent here.
+    """
+    sizes = np.fromiter((len(row) for row in rows), dtype=np.int64, count=len(rows))
+    row_ids = np.repeat(np.arange(len(rows), dtype=np.int64), sizes)
+    lookup = vocab._ids
+    ids = np.fromiter(
+        (lookup[token] for row in rows for token in row),
+        dtype=np.int64,
+        count=int(sizes.sum()),
+    )
+    return row_ids * stride + ids, sizes, row_ids
+
+
+def _set_pair_stats(
+    a_rows: list[frozenset], b_rows: list[frozenset]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(|A|, |B|, |A ∩ B|)`` arrays for aligned set-row batches."""
+    n = len(a_rows)
+    vocab = Vocabulary(token for row in a_rows + b_rows for token in row)
+    stride = max(len(vocab), 1)
+    keys_a, sizes_a, _ = _set_rows_keys(a_rows, vocab, stride)
+    keys_b, sizes_b, _ = _set_rows_keys(b_rows, vocab, stride)
+    common = np.intersect1d(keys_a, keys_b, assume_unique=True)
+    inter = np.bincount((common // stride).astype(np.int64), minlength=n)
+    return sizes_a, sizes_b, inter
+
+
+def word_set_stats(
+    a: Sequence["Iterable[str] | str"], b: Sequence["Iterable[str] | str"]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Shared ``(|A|, |B|, |A ∩ B|)`` arrays for the word-set metrics.
+
+    Jaccard, overlap, and Dice all reduce to these three arrays; compute
+    them once per batch and pass ``stats=`` to each metric to avoid
+    tokenizing and intersecting the same rows three times.
+    """
+    if len(a) != len(b):
+        raise ValueError("batch sides must have equal length")
+    if not len(a):
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty
+    cache: dict[str, frozenset] = {}
+    return _set_pair_stats(_cached_word_sets(a, cache), _cached_word_sets(b, cache))
+
+
+def jaccard_similarity_many(
+    a: Sequence["Iterable[str] | str"],
+    b: Sequence["Iterable[str] | str"],
+    stats: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+) -> np.ndarray:
+    """Batched :func:`jaccard_similarity` (bit-exact)."""
+    sa, sb, inter = word_set_stats(a, b) if stats is None else stats
+    union = sa + sb - inter
+    with np.errstate(divide="ignore", invalid="ignore"):
+        result = inter / union
+    return np.where(union == 0, 1.0, result)
+
+
+def overlap_coefficient_many(
+    a: Sequence["Iterable[str] | str"],
+    b: Sequence["Iterable[str] | str"],
+    stats: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+) -> np.ndarray:
+    """Batched :func:`overlap_coefficient` (bit-exact)."""
+    sa, sb, inter = word_set_stats(a, b) if stats is None else stats
+    smaller = np.minimum(sa, sb)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        result = inter / smaller
+    result = np.where(smaller == 0, np.where(sa == sb, 1.0, 0.0), result)
+    return result
+
+
+def dice_similarity_many(
+    a: Sequence["Iterable[str] | str"],
+    b: Sequence["Iterable[str] | str"],
+    stats: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+) -> np.ndarray:
+    """Batched :func:`dice_similarity` (bit-exact)."""
+    sa, sb, inter = word_set_stats(a, b) if stats is None else stats
+    total = sa + sb
+    with np.errstate(divide="ignore", invalid="ignore"):
+        result = 2.0 * inter / total
+    return np.where(total == 0, 1.0, result)
+
+
+def qgram_similarity_many(a: Sequence[str], b: Sequence[str], q: int = 3) -> np.ndarray:
+    """Batched :func:`qgram_similarity` (bit-exact)."""
+    if len(a) != len(b):
+        raise ValueError("batch sides must have equal length")
+    if not len(a):
+        return np.empty(0, dtype=np.float64)
+    cache: dict[str, frozenset] = {}
+
+    def grams(text: str) -> frozenset:
+        row = cache.get(text)
+        if row is None:
+            row = frozenset(char_ngrams(text.lower(), q))
+            cache[text] = row
+        return row
+
+    sa, sb, inter = _set_pair_stats([grams(t) for t in a], [grams(t) for t in b])
+    union = sa + sb - inter
+    with np.errstate(divide="ignore", invalid="ignore"):
+        result = inter / union
+    return np.where(union == 0, 1.0, result)
+
+
+def _weighted_rows(
+    texts: Sequence[str],
+    counts: dict[str, Counter],
+    vocab: Vocabulary,
+    idf: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sorted per-row ``row * |V| + id`` keys with TF-IDF weights."""
+    stride = max(len(vocab), 1)
+    keys: list[np.ndarray] = []
+    weights: list[np.ndarray] = []
+    rows: list[np.ndarray] = []
+    for i, text in enumerate(texts):
+        counter = counts[text]
+        if not counter:
+            continue
+        ids = np.sort(vocab.encode(list(counter)))
+        tokens_sorted = [vocab.tokens[tid] for tid in ids]
+        tf = np.fromiter(
+            (counter[token] for token in tokens_sorted), dtype=np.float64, count=len(ids)
+        )
+        keys.append(i * stride + ids.astype(np.int64))
+        weights.append(tf * idf[ids])
+        rows.append(np.full(len(ids), i, dtype=np.int64))
+    if not keys:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, np.empty(0, dtype=np.float64), empty
+    return np.concatenate(keys), np.concatenate(weights), np.concatenate(rows)
+
+
+def cosine_similarity_many(
+    a: Sequence["Iterable[str] | str"], b: Sequence["Iterable[str] | str"]
+) -> np.ndarray:
+    """Batched :func:`cosine_similarity` (within ``1e-12`` of scalar)."""
+    if len(a) != len(b):
+        raise ValueError("batch sides must have equal length")
+    n = len(a)
+    if not n:
+        return np.empty(0, dtype=np.float64)
+    cache: dict[str, Counter] = {}
+
+    def multiset(item: "Iterable[str] | str") -> Counter:
+        if isinstance(item, str):
+            counter = cache.get(item)
+            if counter is None:
+                counter = Counter(word_tokenize(item.lower()))
+                cache[item] = counter
+            return counter
+        return Counter(item)
+
+    rows_a = [multiset(item) for item in a]
+    rows_b = [multiset(item) for item in b]
+    vocab = Vocabulary(token for row in rows_a + rows_b for token in row)
+    stride = max(len(vocab), 1)
+
+    def flatten(rows: list[Counter]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        keys: list[np.ndarray] = []
+        weights: list[np.ndarray] = []
+        row_ids: list[np.ndarray] = []
+        for i, counter in enumerate(rows):
+            if not counter:
+                continue
+            ids = np.sort(vocab.encode(list(counter)))
+            tf = np.fromiter(
+                (counter[vocab.tokens[tid]] for tid in ids),
+                dtype=np.float64,
+                count=len(ids),
+            )
+            keys.append(i * stride + ids.astype(np.int64))
+            weights.append(tf)
+            row_ids.append(np.full(len(ids), i, dtype=np.int64))
+        if not keys:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, np.empty(0, dtype=np.float64), empty
+        return np.concatenate(keys), np.concatenate(weights), np.concatenate(row_ids)
+
+    keys_a, tf_a, rid_a = flatten(rows_a)
+    keys_b, tf_b, rid_b = flatten(rows_b)
+    _, ia, ib = np.intersect1d(keys_a, keys_b, assume_unique=True, return_indices=True)
+    dot = np.bincount(
+        (keys_a[ia] // stride).astype(np.int64), weights=tf_a[ia] * tf_b[ib], minlength=n
+    )
+    norm_a = np.sqrt(np.bincount(rid_a, weights=tf_a**2, minlength=n))
+    norm_b = np.sqrt(np.bincount(rid_b, weights=tf_b**2, minlength=n))
+    empty_a = norm_a == 0.0
+    empty_b = norm_b == 0.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        result = np.minimum(1.0, dot / (norm_a * norm_b))
+    result = np.where(empty_a & empty_b, 1.0, result)
+    return np.where(empty_a ^ empty_b, 0.0, result)
+
+
+def monge_elkan_similarity_many(a: Sequence[str], b: Sequence[str]) -> np.ndarray:
+    """Batched :func:`monge_elkan_similarity` (bit-exact).
+
+    Token pairs are deduplicated across the whole batch before the
+    Jaro-Winkler kernel runs, so repeated attribute values cost nothing
+    extra; per-token maxima and the directed means are folded with
+    order-preserving segment reductions to match the scalar accumulation.
+    """
+    if len(a) != len(b):
+        raise ValueError("batch sides must have equal length")
+    n = len(a)
+    if not n:
+        return np.empty(0, dtype=np.float64)
+    cache: dict[str, list[str]] = {}
+
+    def tokens(text: str) -> list[str]:
+        row = cache.get(text)
+        if row is None:
+            row = word_tokenize(text.lower())
+            cache[text] = row
+        return row
+
+    rows_a = [tokens(t) for t in a]
+    rows_b = [tokens(t) for t in b]
+    vocab = Vocabulary(tok for row in rows_a + rows_b for tok in row)
+    enc_a = [vocab.encode(row) for row in rows_a]
+    enc_b = [vocab.encode(row) for row in rows_b]
+    forward, table = _directed_monge_elkan(enc_a, enc_b, vocab, return_table=True)
+    backward = _directed_monge_elkan(enc_b, enc_a, vocab, table=table)
+    return (forward + backward) / 2.0
+
+
+_EMPTY_JW_TABLE = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+
+
+def _directed_monge_elkan(
+    enc_x: list[np.ndarray],
+    enc_y: list[np.ndarray],
+    vocab: Vocabulary,
+    *,
+    table: tuple[np.ndarray, np.ndarray] | None = None,
+    return_table: bool = False,
+) -> np.ndarray | tuple[np.ndarray, tuple[np.ndarray, np.ndarray]]:
+    n = len(enc_x)
+    nx = np.fromiter((len(row) for row in enc_x), dtype=np.int64, count=n)
+    ny = np.fromiter((len(row) for row in enc_y), dtype=np.int64, count=n)
+    result = np.zeros(n, dtype=np.float64)
+    result[(nx == 0) & (ny == 0)] = 1.0
+    valid = np.nonzero((nx > 0) & (ny > 0))[0]
+    if not len(valid):
+        return (result, _EMPTY_JW_TABLE) if return_table else result
+    flat_x = np.concatenate([enc_x[i] for i in valid])
+    flat_y = np.concatenate([enc_y[i] for i in valid])
+    vx, vy = nx[valid], ny[valid]
+    starts_x = np.concatenate([[0], np.cumsum(vx)[:-1]])
+    starts_y = np.concatenate([[0], np.cumsum(vy)[:-1]])
+    combos = vx * vy
+    total = int(combos.sum())
+    combo_start = np.concatenate([[0], np.cumsum(combos)[:-1]])
+    local = np.arange(total, dtype=np.int64) - np.repeat(combo_start, combos)
+    ny_rep = np.repeat(vy, combos)
+    x_pos = np.repeat(starts_x, combos) + local // ny_rep
+    y_pos = np.repeat(starts_y, combos) + local % ny_rep
+    tid = flat_x[x_pos].astype(np.int64)
+    uid = flat_y[y_pos].astype(np.int64)
+    stride = max(len(vocab), 1)
+    keys = tid * stride + uid
+    if table is None:
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        unique_scores = jaro_winkler_similarity_many(
+            [vocab.tokens[k // stride] for k in unique_keys],
+            [vocab.tokens[k % stride] for k in unique_keys],
+        )
+        scores = unique_scores[inverse]
+    else:
+        # Jaro-Winkler is symmetric (matches, transpositions, and the
+        # common prefix are direction-free, and the m/|a| + m/|b| sum
+        # commutes in IEEE arithmetic), so the reverse direction reuses
+        # the forward direction's table through transposed keys — every
+        # (y, x) combo here appeared as (x, y) in the forward pass.
+        unique_keys, unique_scores = table
+        transposed = (keys % stride) * stride + keys // stride
+        scores = unique_scores[np.searchsorted(unique_keys, transposed)]
+    # Per (pair, x-token) maxima: combos are emitted grouped by global x
+    # position, so segment boundaries are exactly the x_pos transitions.
+    seg_starts = np.nonzero(np.diff(x_pos, prepend=-1))[0]
+    maxima = np.maximum.reduceat(scores, seg_starts)
+    pair_of_combo = np.repeat(np.arange(len(valid), dtype=np.int64), combos)
+    sums = np.bincount(pair_of_combo[seg_starts], weights=maxima, minlength=len(valid))
+    result[valid] = sums / vx
+    return (result, (unique_keys, unique_scores)) if return_table else result
+
+
+def numeric_similarity_many(
+    a: Sequence[float | None], b: Sequence[float | None]
+) -> np.ndarray:
+    """Batched :func:`numeric_similarity` (bit-exact)."""
+    if len(a) != len(b):
+        raise ValueError("batch sides must have equal length")
+    if not len(a):
+        return np.empty(0, dtype=np.float64)
+    va = np.array([np.nan if v is None else float(v) for v in a], dtype=np.float64)
+    vb = np.array([np.nan if v is None else float(v) for v in b], dtype=np.float64)
+    missing_a = np.isnan(va)
+    missing_b = np.isnan(vb)
+    denom = np.maximum(np.abs(va), np.abs(vb))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        result = np.maximum(0.0, 1.0 - np.abs(va - vb) / denom)
+    result = np.where(va == vb, 1.0, result)
+    result = np.where(denom == 0.0, 1.0, result)
+    result = np.where(missing_a | missing_b, 0.0, result)
+    return np.where(missing_a & missing_b, 1.0, result)

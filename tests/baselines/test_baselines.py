@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.baselines.ditto import DittoMatcher, evaluate_ditto
-from repro.baselines.fms import evaluate_fms_imputation, evaluate_fms_matching
+from repro.baselines.fms import evaluate_fms_imputation
 from repro.baselines.holoclean import HoloCleanImputer, evaluate_holoclean
 from repro.baselines.imp import IMPImputer, evaluate_imp
 from repro.baselines.magellan import MagellanMatcher, evaluate_magellan
@@ -103,3 +103,45 @@ class TestIMP:
     def test_requires_training_data(self):
         with pytest.raises(ValueError):
             IMPImputer().fit([])
+
+
+class TestColumnarBaselines:
+    """Scalar vs columnar toggles on the classical baselines.
+
+    The columnar feature path must be *bitwise* identical (the random
+    forest goldens are sensitive to any float drift), so fitted models and
+    predictions match exactly; HoloClean's vote matrix is integer-exact.
+    """
+
+    def test_magellan_features_and_predictions_identical(self, beer):
+        import numpy as np
+
+        pairs = beer.train[:200]
+        scalar = MagellanMatcher(columnar=False).fit(["name", "abv"], pairs)
+        columnar = MagellanMatcher(columnar=True).fit(["name", "abv"], pairs)
+        test = beer.test[:100]
+        sx = scalar._extractor.transform([(p.left, p.right) for p in test])
+        cx = columnar._extractor.transform([(p.left, p.right) for p in test])
+        assert np.array_equal(sx, cx)
+        assert scalar.predict(test) == columnar.predict(test)
+
+    def test_ditto_predictions_identical(self, beer):
+        pairs = beer.train[:200]
+        test = beer.test[:100]
+        scalar = DittoMatcher(columnar=False).fit(["name", "abv"], pairs)
+        columnar = DittoMatcher(columnar=True).fit(["name", "abv"], pairs)
+        assert scalar._threshold == columnar._threshold
+        assert scalar.predict(test) == columnar.predict(test)
+
+    def test_holoclean_predictions_identical(self, buy):
+        imputer = HoloCleanImputer().fit(buy.train)
+        records = [r.visible() for r in buy.test] + [
+            {"name": ""},
+            {"name": "zzz qqq completely unseen"},
+            {"name": buy.train[0].name},
+        ]
+        imputer.columnar = False
+        scalar = imputer.predict(records)
+        imputer.columnar = True
+        columnar = imputer.predict(records)
+        assert scalar == columnar

@@ -95,6 +95,71 @@ class TestSortedNeighborhoodFallback:
         assert len(result.pairs) <= 1
 
 
+class TestColumnarBlocking:
+    """The array-join path must agree with the dict-probe oracle exactly."""
+
+    @pytest.fixture(scope="class")
+    def two_views(self):
+        rng = seeded_rng("columnar-blocking-test")
+        entities = _beer_entities(rng, 80)
+        left = [_beer_corrupt(e, rng, 0.6) for e in entities]
+        right = [_beer_corrupt(e, rng, 1.0) for e in entities]
+        return left, right
+
+    def _both(self, left, right, **kwargs):
+        return (
+            block_records(left, right, key="beer_name", columnar=False, **kwargs),
+            block_records(left, right, key="beer_name", columnar=True, **kwargs),
+        )
+
+    def test_identical_on_corrupted_views(self, two_views):
+        scalar, columnar = self._both(*two_views)
+        assert scalar.pairs == columnar.pairs
+        assert scalar.candidates_considered == columnar.candidates_considered
+        assert scalar.reduction_ratio == columnar.reduction_ratio
+
+    def test_identical_across_parameter_grid(self, two_views):
+        left, right = two_views
+        for cap in (1, 3):
+            for min_shared in (1, 2):
+                for window in (0, 3):
+                    scalar, columnar = self._both(
+                        left,
+                        right,
+                        max_candidates_per_record=cap,
+                        min_shared_tokens=min_shared,
+                        neighborhood_window=window,
+                    )
+                    key = (cap, min_shared, window)
+                    assert scalar.pairs == columnar.pairs, key
+                    assert (
+                        scalar.candidates_considered == columnar.candidates_considered
+                    ), key
+
+    def test_identical_on_fallback_heavy_input(self):
+        # Every left record needs the sorted-neighborhood rescue.
+        left = [{"k": "sierr nevda pal alee"}, {"k": "lucki otterr pilsner"}]
+        right = [
+            {"k": "sierra nevada pale ale"},
+            {"k": "lucky otter pilsners"},
+            {"k": ""},
+            {"k": None},
+        ]
+        scalar = block_records(left, right, key="k", columnar=False)
+        columnar = block_records(left, right, key="k", columnar=True)
+        assert scalar.pairs == columnar.pairs
+        assert scalar.candidates_considered == columnar.candidates_considered
+
+    def test_ambient_mode_is_honoured(self, two_views):
+        from repro.storage.columnar import columnar_mode
+
+        left, right = two_views
+        explicit = block_records(left, right, key="beer_name", columnar=True)
+        with columnar_mode(True):
+            ambient = block_records(left, right, key="beer_name")
+        assert explicit.pairs == ambient.pairs
+
+
 class TestDiscovery:
     @pytest.fixture()
     def db(self) -> Database:

@@ -175,3 +175,38 @@ class TestTfIdf:
     def test_unseen_tokens_get_default_idf(self):
         model = TfIdfModel(self.CORPUS)
         assert model.idf("zzzunseen") >= model.idf("pilsner")
+
+    def test_vocabulary_order_is_pinned_sorted(self):
+        """Regression: idf ties used to surface in corpus/hash order.
+
+        The vocabulary must come out in sorted token order regardless of
+        document order, so every derived array (and every float summed in
+        vocabulary order) is identical across platforms and processes.
+        """
+        model = TfIdfModel(self.CORPUS)
+        assert model.vocabulary() == (
+            "beer", "ipa", "lucky", "otter", "pilsner", "porter", "stone"
+        )
+        reversed_model = TfIdfModel(list(reversed(self.CORPUS)))
+        assert reversed_model.vocabulary() == model.vocabulary()
+        assert [reversed_model.idf(t) for t in model.vocabulary()] == [
+            model.idf(t) for t in model.vocabulary()
+        ]
+
+    def test_vector_is_memoized_and_copies(self):
+        """Regression: ``vector`` retokenized + reweighed on every call."""
+        model = TfIdfModel(self.CORPUS)
+        first = model._vector("stone ipa beer")
+        assert model._vector("stone ipa beer") is first  # cached, not rebuilt
+        public = model.vector("stone ipa beer")
+        assert public == first
+        public["stone"] = -1.0  # mutating the copy must not poison the cache
+        assert model.vector("stone ipa beer") == first
+
+    def test_similarity_many_matches_scalar(self):
+        model = TfIdfModel(self.CORPUS)
+        a = ["stone ipa", "lucky otter", "", "stone ipa beer"]
+        b = ["stone porter", "otter pilsner", "stone", "stone ipa beer"]
+        batch = model.similarity_many(a, b)
+        for value, (x, y) in zip(batch, zip(a, b)):
+            assert value == pytest.approx(model.similarity(x, y), abs=1e-12)
