@@ -2,16 +2,21 @@
 
 Every benchmark regenerates one table or figure of the paper.  Results are
 printed and also written under ``benchmarks/results/`` so EXPERIMENTS.md can
-be checked against fresh runs.
+be checked against fresh runs: human-readable text via :func:`emit`, and a
+machine-readable JSON record per bench via :func:`emit_json` (one
+``BENCH_<name>.json`` each, with a shared arm schema) so CI jobs and
+regression tooling can diff results without parsing tables.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+from typing import Any
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
-__all__ = ["emit", "RESULTS_DIR"]
+__all__ = ["emit", "emit_json", "RESULTS_DIR"]
 
 
 def emit(name: str, text: str) -> None:
@@ -20,3 +25,34 @@ def emit(name: str, text: str) -> None:
     print(banner + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def emit_json(
+    name: str, arms: list[dict[str, Any]], **extra: Any
+) -> dict[str, Any]:
+    """Persist machine-readable results to ``results/BENCH_<name>.json``.
+
+    ``arms`` is one dict per measured arm.  Every arm is normalised to the
+    shared schema — ``name``, ``wall_seconds``, ``provider_calls``,
+    ``cost`` (``None`` when the bench does not measure that axis) — plus
+    whatever bench-specific metrics the arm carries.  ``extra`` keys land
+    at the top level beside ``bench`` and ``arms``.
+    """
+    normalised = []
+    for index, arm in enumerate(arms):
+        entry: dict[str, Any] = {
+            "name": arm.get("name", f"arm{index}"),
+            "wall_seconds": arm.get("wall_seconds"),
+            "provider_calls": arm.get("provider_calls"),
+            "cost": arm.get("cost"),
+        }
+        entry.update(
+            {key: value for key, value in arm.items() if key not in entry}
+        )
+        normalised.append(entry)
+    payload: dict[str, Any] = {"bench": name, "arms": normalised, **extra}
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return payload

@@ -17,7 +17,7 @@ from repro.datasets.entity_resolution import generate_er_dataset
 from repro.ml.metrics import f1_score
 from repro.tasks.entity_resolution import pairs_as_inputs, pick_examples
 
-from _harness import emit
+from _harness import emit, emit_json
 
 BATCH_SIZES = (1, 5, 10, 25)
 
@@ -69,6 +69,19 @@ def test_ablation_batching(sweep, benchmark):
             f"{row['tokens']:8d} ${row['cost']:.4f}"
         )
     emit("ablation_batching", "\n".join(lines))
+    emit_json(
+        "ablation_batching",
+        [
+            {
+                "name": f"batch={row['batch']}",
+                "provider_calls": row["calls"],
+                "cost": row["cost"],
+                "f1": row["f1"],
+                "tokens": row["tokens"],
+            }
+            for row in sweep
+        ],
+    )
 
     # Accuracy is invariant under batching (same judgements, packed).
     f1s = {round(row["f1"], 2) for row in sweep}

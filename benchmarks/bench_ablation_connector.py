@@ -27,7 +27,7 @@ from repro.core.optimizer.connector import TabularConnector
 from repro.core.runtime.system import LinguaManga
 from repro.storage.table import Table
 
-from _harness import emit
+from _harness import emit, emit_json
 
 PROMPT_ROW_BUDGET = 40  # rows that fit into the full-upload prompt
 TABLE_SIZES = (20, 100, 400)
@@ -148,6 +148,17 @@ def test_ablation_connector(sweep, benchmark):
             f"{row['values_exposed']:8d}"
         )
     emit("ablation_connector", "\n".join(lines))
+    emit_json(
+        "ablation_connector",
+        [
+            {
+                "name": f"{row['mode']} rows={row['rows']}",
+                "accuracy": row["accuracy"],
+                "values_exposed": row["values_exposed"],
+            }
+            for row in sweep
+        ],
+    )
 
     by_key = {(r["rows"], r["mode"]): r for r in sweep}
     for n_rows in TABLE_SIZES:

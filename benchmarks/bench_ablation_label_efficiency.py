@@ -22,7 +22,7 @@ from repro.datasets.entity_resolution import generate_er_dataset
 from repro.ml.metrics import f1_score
 from repro.tasks.entity_resolution import run_lingua_manga_er
 
-from _harness import emit
+from _harness import emit, emit_json
 
 LM_EXAMPLES = (0, 2, 4, 8)
 DITTO_LABELS = (25, 100, 400, None)  # None = the full training split
@@ -58,6 +58,11 @@ def test_ablation_label_efficiency(sweep, benchmark):
     for n, f1 in ditto_rows:
         lines.append(f"  {n:4d} labels   -> F1 {f1:6.2f}")
     emit("ablation_label_efficiency", "\n".join(lines))
+    emit_json(
+        "ablation_label_efficiency",
+        [{"name": f"lingua_manga examples={n}", "f1": f1} for n, f1 in lm_rows]
+        + [{"name": f"ditto labels={n}", "f1": f1} for n, f1 in ditto_rows],
+    )
 
     # Two examples already put Lingua Manga at its plateau — the "no or only
     # a few labeled examples" claim.  (Note: the Ditto *proxy* is feature-

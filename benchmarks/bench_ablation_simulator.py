@@ -14,7 +14,7 @@ from repro.core.runtime.system import LinguaManga
 from repro.datasets.names import generate_name_dataset
 from repro.tasks.name_extraction import run_name_extraction
 
-from _harness import emit
+from _harness import emit, emit_json
 
 THRESHOLDS = (0.95, 0.8, 0.65, 0.5)
 
@@ -74,6 +74,18 @@ def test_ablation_simulator(sweep, benchmark):
             f"{100 * row['savings']:7.1f}%"
         )
     emit("ablation_simulator", "\n".join(lines))
+    emit_json(
+        "ablation_simulator",
+        [
+            {
+                "name": "off" if row["threshold"] is None else f"threshold={row['threshold']:.2f}",
+                "provider_calls": row["llm_calls"],
+                "f1": row["f1"],
+                "savings": row["savings"],
+            }
+            for row in sweep
+        ],
+    )
 
     baseline = sweep[0]
     by_threshold = {row["threshold"]: row for row in sweep[1:]}

@@ -21,7 +21,7 @@ from repro.text.normalize import normalize_text
 from repro.text.phrases import noun_phrases
 from repro.text.similarity import jaro_winkler_similarity
 
-from _harness import emit
+from _harness import emit, emit_json
 
 
 def _tools():
@@ -90,6 +90,19 @@ def test_ablation_validator(sweep, benchmark):
             f"{row['revision']:4d} {row['name_recall']:11.1f}% {row['llm_calls']:6d}"
         )
     emit("ablation_validator", "\n".join(lines))
+    emit_json(
+        "ablation_validator",
+        [
+            {
+                "name": f"budget={row['budget']}",
+                "provider_calls": row["llm_calls"],
+                "rounds_used": row["rounds_used"],
+                "cases_pass": row["cases_pass"],
+                "name_recall": row["name_recall"],
+            }
+            for row in sweep
+        ],
+    )
 
     first, last = sweep[0], sweep[-1]
     # The unvalidated first draft is clearly worse.

@@ -35,7 +35,7 @@ from repro.tasks.entity_resolution import run_lingua_manga_er
 from repro.tasks.imputation import run_hybrid_imputation
 from repro.tasks.name_extraction import run_name_extraction
 
-from _harness import emit
+from _harness import emit, emit_json
 
 GOLDEN_ER_F1 = 0.9090909090909091
 
@@ -180,3 +180,32 @@ def test_banded_levenshtein_speedup():
 def test_emit_report(warm_sweep, distill_arms):
     baseline, distilled = distill_arms
     emit("cache", "\n".join(_render_warm(warm_sweep) + _render_distill(baseline, distilled)))
+    arms = []
+    for name, pair in warm_sweep.items():
+        for temperature in ("cold", "warm"):
+            result = pair[temperature]
+            arms.append(
+                {
+                    "name": f"{name} {temperature}",
+                    "provider_calls": result.llm_calls,
+                    "cost": result.cost,
+                }
+            )
+    arms.append(
+        {
+            "name": "er distill=off",
+            "provider_calls": baseline.llm_calls,
+            "cost": baseline.cost,
+            "f1": baseline.f1,
+        }
+    )
+    arms.append(
+        {
+            "name": "er distill=on",
+            "provider_calls": distilled.llm_calls,
+            "cost": distilled.cost,
+            "f1": distilled.f1,
+            "distilled_calls": distilled.distilled_calls,
+        }
+    )
+    emit_json("cache", arms)

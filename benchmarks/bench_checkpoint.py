@@ -43,7 +43,7 @@ from repro.llm.providers import SimulatedProvider
 from repro.llm.service import LLMService
 from repro.tasks.entity_resolution import pairs_as_inputs, pick_examples
 
-from _harness import emit
+from _harness import emit, emit_json
 
 OVERHEAD_BAR = 0.05  # the PR's promise: <= 5% wall-clock tax on the ER app
 N_ENTITIES = 1200  # large enough that per-run fixed costs amortise
@@ -201,4 +201,29 @@ def test_emit_report(overhead, resume_arms):
                 f"  resume saved         {saved:>6.1%} of a from-scratch restart",
             ]
         ),
+    )
+    emit_json(
+        "checkpoint",
+        [
+            {
+                "name": "plain",
+                "wall_seconds": overhead["plain"],
+                "provider_calls": resume_arms["full_calls"],
+            },
+            {
+                "name": "journal overhead",
+                "wall_seconds": overhead["delta"],
+                "overhead_ratio": overhead["ratio"],
+                "journal_kib": overhead["journal_kib"],
+            },
+            {
+                "name": "crashed prefix",
+                "provider_calls": resume_arms["crash_calls"],
+            },
+            {
+                "name": "resumed suffix",
+                "provider_calls": resume_arms["resume_calls"],
+                "resume_saved": saved,
+            },
+        ],
     )

@@ -45,7 +45,7 @@ from repro.tasks.entity_resolution import run_lingua_manga_er
 from repro.text.normalize import normalize_text
 from repro.text.similarity import TfIdfModel
 
-from _harness import emit
+from _harness import emit, emit_json
 
 N_RECORDS = int(os.environ.get("BENCH_COLUMNAR_RECORDS", "100000"))
 SCALAR_SAMPLE = int(os.environ.get("BENCH_COLUMNAR_SCALAR_SAMPLE", "4000"))
@@ -144,6 +144,15 @@ def test_blocking_speedup():
         f"columnar {columnar_seconds:8.3f}s\n"
         f"speedup  {speedup:7.1f}x (identical pairs and counts)",
     )
+    emit_json(
+        "columnar_blocking",
+        [
+            {"name": "scalar", "wall_seconds": scalar_seconds},
+            {"name": "columnar", "wall_seconds": columnar_seconds},
+        ],
+        speedup=speedup,
+        candidate_pairs=len(scalar_pairs),
+    )
     assert speedup >= MIN_SPEEDUP
 
 
@@ -221,6 +230,22 @@ def test_feature_extraction_speedup():
         f"columnar {columnar_rate:10,.0f} pairs/s (measured on {n_pairs:,})\n"
         f"speedup  {speedup:7.1f}x (bit-identical features)",
     )
+    emit_json(
+        "columnar_features",
+        [
+            {
+                "name": "scalar",
+                "wall_seconds": scalar_seconds,
+                "pairs_per_sec": scalar_rate,
+            },
+            {
+                "name": "columnar",
+                "wall_seconds": columnar_seconds,
+                "pairs_per_sec": columnar_rate,
+            },
+        ],
+        speedup=speedup,
+    )
     assert speedup >= MIN_SPEEDUP
 
 
@@ -233,6 +258,7 @@ def test_profile_split_and_report_parity():
     """
     dataset = generate_er_dataset("beer")
     rows = []
+    arms = []
     reports = []
     for columnar in (False, True):
         system = LinguaManga(obs=Observability())
@@ -247,6 +273,14 @@ def test_profile_split_and_report_parity():
             f"columnar={str(columnar):5s} wall {seconds * 1000:8.1f}ms, "
             f"provider calls {provider}, f1 {result.f1:.4f}"
         )
+        arms.append(
+            {
+                "name": f"columnar={columnar}",
+                "wall_seconds": seconds,
+                "provider_calls": provider,
+                "f1": result.f1,
+            }
+        )
         reports.append(result.report.canonical_json())
     assert reports[0] == reports[1]
     emit(
@@ -255,3 +289,4 @@ def test_profile_split_and_report_parity():
         + "\n".join(rows)
         + "\nreports byte-identical across modes",
     )
+    emit_json("columnar_profile", arms, reports_identical=True)

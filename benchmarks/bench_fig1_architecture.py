@@ -13,7 +13,7 @@ from repro.core.dsl.parser import parse_pipeline
 from repro.core.runtime.system import LinguaManga
 from repro.core.templates.library import available_templates
 
-from _harness import emit
+from _harness import emit, emit_json
 
 DSL = '''
 pipeline "fig1_demo":
@@ -28,12 +28,15 @@ def test_fig1_architecture(benchmark):
     """Render the architecture and time DSL-to-plan compilation."""
     system = LinguaManga()
     sections = [render_architecture(), ""]
+    arms = []
     for template in available_templates():
         pipeline = template.instantiate()
         plan = system.compile(pipeline)
         sections.append(explain_plan(plan))
         sections.append("")
+        arms.append({"name": template.name, "operators": len(pipeline.operators)})
     emit("fig1_architecture", "\n".join(sections))
+    emit_json("fig1_architecture", arms)
 
     def parse_and_compile():
         pipeline = parse_pipeline(DSL)

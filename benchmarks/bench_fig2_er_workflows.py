@@ -19,7 +19,7 @@ from repro.datasets.entity_resolution import generate_er_dataset
 from repro.ml.metrics import f1_score
 from repro.tasks.entity_resolution import pairs_as_inputs, pick_examples
 
-from _harness import emit
+from _harness import emit, emit_json
 
 
 def build_custom_pipeline(examples):
@@ -78,6 +78,20 @@ def test_fig2_workflows(comparison, benchmark):
             f"{row['user_params']:7d} {row['llm_calls']:6d} ${row['cost']:.4f}"
         )
     emit("fig2_er_workflows", "\n".join(lines))
+    emit_json(
+        "fig2_er_workflows",
+        [
+            {
+                "name": label,
+                "provider_calls": row["llm_calls"],
+                "cost": row["cost"],
+                "f1": row["f1"],
+                "operators": row["operators"],
+                "user_params": row["user_params"],
+            }
+            for label, row in comparison.items()
+        ],
+    )
 
     custom = comparison["custom (Fig 2a)"]
     template = comparison["template (Fig 2b)"]

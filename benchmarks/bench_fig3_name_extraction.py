@@ -20,7 +20,7 @@ from repro.core.runtime.system import LinguaManga
 from repro.datasets.names import generate_name_dataset
 from repro.tasks.name_extraction import run_name_extraction
 
-from _harness import emit
+from _harness import emit, emit_json
 
 
 @pytest.fixture(scope="module")
@@ -68,6 +68,18 @@ def _render(documents, results) -> str:
 def test_fig3_name_extraction(storyline, benchmark):
     documents, results = storyline
     emit("fig3_name_extraction", _render(documents, results))
+    emit_json(
+        "fig3_name_extraction",
+        [
+            {
+                "name": result.variant,
+                "provider_calls": result.llm_calls,
+                "cost": result.cost,
+                "f1": result.f1,
+            }
+            for result in results
+        ],
+    )
     mono, multi, simulated = results
 
     # 1. multilingual data degrades the monolingual pipeline...

@@ -25,7 +25,7 @@ from repro.datasets.imputation import generate_buy_dataset
 from repro.llm.service import LLMService
 from repro.tasks.imputation import run_hybrid_imputation, run_llm_imputation
 
-from _harness import emit
+from _harness import emit, emit_json
 
 PAPER = {
     "holoclean": 16.2,
@@ -68,6 +68,19 @@ def test_fig4_data_imputation(figure4, benchmark):
     lines.append("")
     lines.append(comparison.to_text())
     emit("fig4_data_imputation", "\n".join(lines))
+    emit_json(
+        "fig4_data_imputation",
+        [
+            {
+                "name": method,
+                "provider_calls": calls,
+                "accuracy": accuracy,
+                "paper_accuracy": PAPER[method],
+            }
+            for method, (accuracy, calls) in rows.items()
+        ],
+        call_ratio=comparison.call_ratio(),
+    )
 
     # Shape assertions from the paper.
     assert rows["holoclean"][0] < 40  # signal-starved classical repair

@@ -11,7 +11,7 @@ from repro.core.runtime.system import LinguaManga
 from repro.core.templates.library import get_template
 from repro.ui.views import render_screen
 
-from _harness import emit
+from _harness import emit, emit_json
 
 
 def test_fig5_ui(benchmark):
@@ -26,6 +26,16 @@ def test_fig5_ui(benchmark):
     )
     screen = render_screen(plan, report, inspect=tag_operator)
     emit("fig5_ui", screen)
+    emit_json(
+        "fig5_ui",
+        [
+            {
+                "name": "render_screen",
+                "screen_chars": len(screen),
+                "provider_calls": report.cost.served_calls,
+            }
+        ],
+    )
 
     assert "pipeline: name_extraction_template" in screen
     assert f"module: {tag_operator}" in screen

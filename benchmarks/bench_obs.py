@@ -20,7 +20,7 @@ from repro.datasets.entity_resolution import generate_er_dataset
 from repro.obs import Observability
 from repro.tasks.entity_resolution import run_lingua_manga_er
 
-from _harness import emit
+from _harness import emit, emit_json
 
 GOLDEN_ER_F1 = 0.9090909090909091
 REPEATS = 3
@@ -54,6 +54,22 @@ def test_observability_overhead_is_small():
         f"{REPEATS} runs):\n"
         f"obs off {off_seconds * 1000:.1f}ms, on {on_seconds * 1000:.1f}ms, "
         f"overhead {overhead:+.1%}",
+    )
+    emit_json(
+        "obs",
+        [
+            {
+                "name": "obs off",
+                "wall_seconds": off_seconds,
+                "provider_calls": off_result.llm_calls,
+            },
+            {
+                "name": "obs on",
+                "wall_seconds": on_seconds,
+                "provider_calls": on_result.llm_calls,
+            },
+        ],
+        overhead=overhead,
     )
     # Loose ceiling for noisy CI boxes; typical idle-machine result: < 5%.
     assert overhead < 0.25

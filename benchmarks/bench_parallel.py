@@ -21,7 +21,7 @@ from repro.llm.providers import LatencyProvider, SimulatedProvider
 from repro.llm.service import LLMService
 from repro.tasks.entity_resolution import pairs_as_inputs, pick_examples
 
-from _harness import emit
+from _harness import emit, emit_json
 
 WORKER_COUNTS = (1, 2, 4, 8)
 ROUND_TRIP_SECONDS = 0.02
@@ -80,6 +80,18 @@ def _render(sweep: dict[int, dict]) -> str:
 
 def test_parallel_speedup(sweep):
     emit("parallel", _render(sweep))
+    emit_json(
+        "parallel",
+        [
+            {
+                "name": f"workers={workers}",
+                "wall_seconds": sweep[workers]["seconds"],
+                "provider_calls": sweep[workers]["served"],
+                "round_trips": sweep[workers]["round_trips"],
+            }
+            for workers in WORKER_COUNTS
+        ],
+    )
     # Determinism: byte-identical canonical reports at every worker count.
     assert len({row["canonical"] for row in sweep.values()}) == 1
     # Same provider work regardless of parallelism (no duplicate calls).

@@ -22,7 +22,7 @@ from repro.ml.metrics import f1_score
 from repro.resilience import Deadline, ResiliencePolicy, RetryPolicy, VirtualClock
 from repro.tasks.entity_resolution import pairs_as_inputs, pick_examples
 
-from _harness import emit
+from _harness import emit, emit_json
 
 ARMS = (
     ("clean", 0.0, None),
@@ -94,6 +94,21 @@ def _render(rows: dict) -> str:
 
 def test_robustness_sweep(sweep):
     emit("robustness", _render(sweep))
+    emit_json(
+        "robustness",
+        [
+            {
+                "name": name,
+                "processed": row["processed"],
+                "quarantined": row["quarantined"],
+                "f1": row["f1"],
+                "retries": row["retries"],
+                "failed_calls": row["failed"],
+                "clock_seconds": row["clock"],
+            }
+            for name, row in sweep.items()
+        ],
+    )
     clean = sweep["clean"]
     assert clean["quarantined"] == 0 and not clean["partial"]
     for name, row in sweep.items():

@@ -22,7 +22,7 @@ from repro.core.runtime.system import LinguaManga
 from repro.core.templates.library import get_template
 from repro.datasets import StreamingERCorpus
 
-from _harness import emit
+from _harness import emit, emit_json
 
 PAIRS = int(os.environ.get("STREAM_BENCH_PAIRS", "2000"))
 CHUNK = 200
@@ -110,6 +110,20 @@ def render(arms: dict[str, dict]) -> str:
 def test_streaming_bench():
     arms = sweep()
     emit("streaming", render(arms))
+    emit_json(
+        "streaming",
+        [
+            {
+                "name": name,
+                "wall_seconds": row["seconds"],
+                "records_per_sec": row["records_per_sec"],
+                "shards": row["shards"],
+                "spill_peak_bytes": row["spill_peak_bytes"],
+                "peak_rss_mb": row["peak_rss_mb"],
+            }
+            for name, row in arms.items()
+        ],
+    )
 
     base = arms[f"{PAIRS} pairs / 8w"]
     big = arms[f"{PAIRS * 4} pairs / 8w"]

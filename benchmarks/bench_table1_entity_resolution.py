@@ -23,7 +23,7 @@ from repro.core.runtime.system import LinguaManga
 from repro.datasets.entity_resolution import ER_DATASET_NAMES, generate_er_dataset
 from repro.tasks.entity_resolution import run_lingua_manga_er
 
-from _harness import emit
+from _harness import emit, emit_json
 
 PAPER = {
     "beer": {"magellan": 78.8, "ditto": 94.37, "fms": 78.6, "lingua_manga": 89.66},
@@ -69,6 +69,14 @@ def _render(rows: dict) -> str:
 def test_table1_shape(table1, benchmark):
     """Verify the paper's qualitative claims and time the LM matcher."""
     emit("table1_entity_resolution", _render(table1))
+    emit_json(
+        "table1_entity_resolution",
+        [
+            {"name": f"{dataset_name} {method}", "f1": f1, "paper_f1": PAPER[dataset_name][method]}
+            for dataset_name, row in table1.items()
+            for method, f1 in row.items()
+        ],
+    )
     for name, row in table1.items():
         # Lingua Manga clearly beats raw prompting everywhere.
         assert row["lingua_manga"] > row["fms"] + 3

@@ -1,5 +1,14 @@
 """The Lingua Manga optimizer: validator, simulator, connector, cost model."""
 
+from repro.core.optimizer.autotune import (
+    OperatorCostModel,
+    PlanTuner,
+    ProfileStore,
+    TuningDecision,
+    TuningPlan,
+    fit_cost_model,
+    resolve_profile_path,
+)
 from repro.core.optimizer.connector import (
     ConnectorAnswer,
     ConnectorPolicyError,
@@ -22,6 +31,13 @@ from repro.core.optimizer.validator import (
 )
 
 __all__ = [
+    "OperatorCostModel",
+    "PlanTuner",
+    "ProfileStore",
+    "TuningDecision",
+    "TuningPlan",
+    "fit_cost_model",
+    "resolve_profile_path",
     "ConnectorAnswer",
     "ConnectorPolicyError",
     "ExposureReport",

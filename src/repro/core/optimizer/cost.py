@@ -34,6 +34,14 @@ class CostSnapshot:
     failed_calls: int = 0
     near_hits: int = 0
     distilled_calls: int = 0
+    #: virtual latency of provider-path calls only; ``latency_seconds``
+    #: minus cached/distilled time.  Kept separate so the autotune cost
+    #: models can fit per-provider-call rates without distilled local
+    #: answers biasing them.
+    provider_seconds: float = 0.0
+    #: virtual latency spent in distilled local-model answers, under its
+    #: own key instead of folded into provider time.
+    distilled_seconds: float = 0.0
 
     def to_text(self) -> str:
         """One-line rendering."""
@@ -83,6 +91,10 @@ class CostTracker:
             failed_calls=after.failed_calls - self._before.failed_calls,
             near_hits=after.near_hits - self._before.near_hits,
             distilled_calls=after.distilled_calls - self._before.distilled_calls,
+            provider_seconds=after.provider_seconds - self._before.provider_seconds,
+            distilled_seconds=(
+                after.distilled_seconds - self._before.distilled_seconds
+            ),
         )
 
 

@@ -123,6 +123,8 @@ class LinguaManga:
         resume: bool = True,
         checkpoint: "Any | None" = None,
         columnar: bool | None = None,
+        autotune: bool = False,
+        profile_path: "str | Any | None" = None,
     ) -> RunReport:
         """Compile and execute in one step.
 
@@ -146,6 +148,18 @@ class LinguaManga:
         hot paths (blocking, similarity features — see
         :mod:`repro.storage.columnar`); ``None`` keeps the ambient default.
         Both modes produce byte-identical reports.
+
+        ``autotune=True`` consults the profile store (``profile_path``, or
+        a journal derived from the cache journal's path, or memory-only)
+        before executing: a :class:`~repro.core.optimizer.autotune.
+        PlanTuner` fits cost models from previous runs of the same plan
+        and chooses worker count, chunk size, the batched-vs-single
+        provider path and columnar mode — but only within knobs proven
+        byte-identical, so the report matches an untuned run byte for
+        byte.  Decisions, predictions and the realized deltas land in
+        ``report.tuning`` and the trace; the finished run's profile is
+        appended to the store for the next run.  Caller-pinned knobs are
+        never overridden (they are recorded under ``tuning["pinned"]``).
         """
         from repro.storage.columnar import columnar_mode, resolve_columnar
 
@@ -155,16 +169,53 @@ class LinguaManga:
             from repro.core.runtime.checkpoint import RunCheckpoint
 
             checkpoint = RunCheckpoint(checkpoint_path, resume=resume)
+        plan = None
+        tuner = None
+        tuning = None
+        if autotune:
+            from repro.core.optimizer.autotune import (
+                PlanTuner,
+                ProfileStore,
+                resolve_profile_path,
+            )
+
+            plan = self.compile(pipeline)
+            store = ProfileStore(resolve_profile_path(profile_path, self.service))
+            tuner = PlanTuner(store, plan, self.service, engine="batch")
+            tuning = tuner.tune(
+                inputs,
+                workers=workers,
+                chunk_size=chunk_size,
+                columnar=columnar,
+                checkpointed=checkpoint is not None,
+            )
+            workers = tuning.workers
+            columnar = tuning.columnar
         if checkpoint is not None and workers is None:
             workers = 1
         try:
             with columnar_mode(resolve_columnar(columnar)):
-                return self.compile(pipeline).execute(
-                    inputs,
-                    workers=workers,
-                    chunk_size=chunk_size,
-                    checkpoint=checkpoint,
-                )
+                if tuner is None:
+                    return self.compile(pipeline).execute(
+                        inputs,
+                        workers=workers,
+                        chunk_size=chunk_size,
+                        checkpoint=checkpoint,
+                    )
+                from repro.core.optimizer.autotune import observe_run
+
+                try:
+                    with tuning.applied(), observe_run() as walltime:
+                        report = plan.execute(
+                            inputs,
+                            workers=workers,
+                            chunk_size=chunk_size,
+                            checkpoint=checkpoint,
+                        )
+                    tuner.record(report, walltime["wall_seconds"])
+                    return report
+                finally:
+                    tuner.store.close()
         finally:
             if checkpoint is not None:
                 checkpoint.close()
@@ -174,7 +225,7 @@ class LinguaManga:
         pipeline: Pipeline,
         inputs: Any = None,
         *,
-        workers: int = 1,
+        workers: int | None = None,
         chunk_size: int | None = None,
         window: int | None = None,
         ledger_path: "str | Any | None" = None,
@@ -190,6 +241,8 @@ class LinguaManga:
         kill: "Any | None" = None,
         lease_fault: "Any | None" = None,
         spill_fault: "Any | None" = None,
+        autotune: bool = False,
+        profile_path: "str | Any | None" = None,
     ) -> RunReport:
         """Compile and execute as a memory-bounded stream.
 
@@ -218,6 +271,13 @@ class LinguaManga:
 
         ``crash`` / ``kill`` / ``lease_fault`` / ``spill_fault`` are chaos
         hooks (:mod:`repro.llm.faults`) for the crash-resume test matrix.
+
+        ``autotune=True`` behaves as in :meth:`run`, restricted to the one
+        knob streaming proves output-neutral at any cache temperature: the
+        worker count (shard boundaries depend only on ``chunk_size``, and
+        the crash matrix pins byte-identical reports at any worker count).
+        Chunk-size tuning is excluded — it would change the shard
+        fingerprints a resumable ledger is keyed by.
         """
         import tempfile
         from pathlib import Path
@@ -226,6 +286,22 @@ class LinguaManga:
 
         if ledger is not None and ledger_path is not None:
             raise ValueError("pass ledger= or ledger_path=, not both")
+        plan = self.compile(pipeline)
+        tuner = None
+        tuning = None
+        if autotune:
+            from repro.core.optimizer.autotune import (
+                PlanTuner,
+                ProfileStore,
+                resolve_profile_path,
+            )
+
+            store = ProfileStore(resolve_profile_path(profile_path, self.service))
+            tuner = PlanTuner(store, plan, self.service, engine="stream")
+            tuning = tuner.tune(None, workers=workers, chunk_size=chunk_size)
+            workers = tuning.workers
+        if workers is None:
+            workers = 1
         ephemeral = False
         if ledger is None:
             if ledger_path is None:
@@ -235,7 +311,7 @@ class LinguaManga:
                 ephemeral = True
             ledger = ShardLedger(ledger_path, resume=resume)
         executor = StreamingExecutor(
-            self.compile(pipeline),
+            plan,
             ledger=ledger,
             workers=workers,
             chunk_size=chunk_size,
@@ -252,7 +328,17 @@ class LinguaManga:
             spill_fault=spill_fault,
         )
         try:
-            report = executor.execute(inputs)
+            if tuner is None:
+                report = executor.execute(inputs)
+            else:
+                from repro.core.optimizer.autotune import observe_run
+
+                try:
+                    with tuning.applied(), observe_run() as walltime:
+                        report = executor.execute(inputs)
+                    tuner.record(report, walltime["wall_seconds"])
+                finally:
+                    tuner.store.close()
             if ephemeral:
                 ledger.delete()
             return report

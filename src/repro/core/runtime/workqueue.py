@@ -989,6 +989,8 @@ def _add_rows(accumulated: ProfileRow, row: ProfileRow) -> ProfileRow:
         distilled=accumulated.distilled + row.distilled,
         cost=accumulated.cost + row.cost,
         latency_seconds=accumulated.latency_seconds + row.latency_seconds,
+        provider_seconds=accumulated.provider_seconds + row.provider_seconds,
+        distilled_seconds=accumulated.distilled_seconds + row.distilled_seconds,
         retries=accumulated.retries + row.retries,
         fallbacks=accumulated.fallbacks + row.fallbacks,
         failures=accumulated.failures + row.failures,
@@ -1325,6 +1327,10 @@ class StreamingExecutor:
             failed_calls=totals.failures,
             near_hits=totals.cache_near,
             distilled_calls=totals.distilled,
+            # Distilled time under its own key: folding it into provider
+            # time would bias the autotune per-call cost models.
+            provider_seconds=totals.provider_seconds,
+            distilled_seconds=totals.distilled_seconds,
         )
         for sink_op in self.plan.pipeline.sinks():
             if sink_op.name not in values:

@@ -449,6 +449,16 @@ class PromptCache:
         with self._lock:
             return key in self._entries
 
+    def exact_digests(self) -> set[str]:
+        """Digests of every exact-tier key (no stats, no LRU touch).
+
+        The autotune PlanTuner compares these against the key digests a
+        prior run's ledger recorded to *prove* a rerun fully warm before it
+        touches knobs that are only output-neutral on warm runs.
+        """
+        with self._lock:
+            return {key_digest(key) for key in self._entries}
+
     def put(self, key: CacheKey, response: LLMResponse) -> None:
         """Insert/refresh an entry, evicting LRU past ``max_entries``."""
         with self._lock:

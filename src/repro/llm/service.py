@@ -142,6 +142,11 @@ class UsageSummary:
     near_hits: int = 0
     distilled_calls: int = 0
     cache_evictions: int = 0
+    #: virtual latency of provider-path records only (not cached); the
+    #: distilled share is under ``distilled_seconds`` so downstream cost
+    #: models never mistake local-model time for provider time.
+    provider_seconds: float = 0.0
+    distilled_seconds: float = 0.0
 
     def to_text(self) -> str:
         """One-line human-readable rendering."""
@@ -693,7 +698,12 @@ class LLMService:
         ]
 
     def record_distilled(
-        self, prompt: str, text: str, purpose: str = "", skill: str = "distilled"
+        self,
+        prompt: str,
+        text: str,
+        purpose: str = "",
+        skill: str = "distilled",
+        latency: float = 0.0,
     ) -> None:
         """Ledger a zero-cost answer produced by a distilled local model.
 
@@ -701,7 +711,13 @@ class LLMService:
         this for every record it answers instead of the provider, so the
         ledger stays a complete account of *every* answered prompt with
         provenance ``distilled``.  Scope-aware like any other record.
+        ``latency`` (virtual seconds the local model charged, default 0)
+        advances the active clock and lands in the record's
+        ``latency_seconds`` — surfaced downstream as ``distilled_seconds``,
+        never folded into provider time.
         """
+        if latency:
+            self._active_clock().advance(latency)
         self._record(
             CallRecord(
                 prompt=prompt,
@@ -712,7 +728,7 @@ class LLMService:
                 cached=True,
                 skill=skill,
                 purpose=purpose,
-                latency_seconds=0.0,
+                latency_seconds=latency,
                 outcome=OUTCOME_CACHED,
                 provenance=PROVENANCE_DISTILLED,
             )
@@ -933,6 +949,18 @@ class LLMService:
                 1 for r in records if r.provenance == PROVENANCE_DISTILLED
             ),
             cache_evictions=self.cache.stats.evictions,
+            # float(): an empty generator sums to int 0, which would render
+            # as "0" instead of "0.0" in canonical report JSON.
+            provider_seconds=float(
+                sum(r.latency_seconds for r in records if not r.cached)
+            ),
+            distilled_seconds=float(
+                sum(
+                    r.latency_seconds
+                    for r in records
+                    if r.provenance == PROVENANCE_DISTILLED
+                )
+            ),
         )
 
     def ledger_table(self):

@@ -55,6 +55,15 @@ class ProfileRow:
     distilled: int = 0
     cost: float = 0.0
     latency_seconds: float = 0.0
+    #: virtual latency attributable to *provider-path* records only (not
+    #: cached, any outcome).  ``latency_seconds`` is the all-provenance
+    #: total; the split keeps distilled local-model time out of the
+    #: provider time the autotune cost models fit per-call rates from.
+    provider_seconds: float = 0.0
+    #: virtual latency of distilled local-model answers (provenance
+    #: ``distilled``), surfaced under its own key rather than folded into
+    #: provider time.
+    distilled_seconds: float = 0.0
     retries: int = 0
     fallbacks: int = 0
     failures: int = 0
@@ -76,6 +85,8 @@ class ProfileRow:
             "distilled": self.distilled,
             "cost": round(self.cost, 10),
             "latency_seconds": round(self.latency_seconds, 9),
+            "provider_seconds": round(self.provider_seconds, 9),
+            "distilled_seconds": round(self.distilled_seconds, 9),
             "retries": self.retries,
             "fallbacks": self.fallbacks,
             "failures": self.failures,
@@ -94,7 +105,7 @@ def profile_records(
     """
     calls = provider = exact = near = distilled = 0
     retries = fallbacks = failures = 0
-    cost = latency = 0.0
+    cost = latency = provider_seconds = distilled_seconds = 0.0
     for record in records:
         calls += 1
         cost += record.cost
@@ -102,6 +113,10 @@ def profile_records(
         retries += record.retries
         if record.outcome == OUTCOME_FALLBACK:
             fallbacks += 1
+        if not record.cached:
+            provider_seconds += record.latency_seconds
+        elif record.provenance == PROVENANCE_DISTILLED:
+            distilled_seconds += record.latency_seconds
         if not record.succeeded:
             failures += 1
         elif record.cached:
@@ -122,6 +137,8 @@ def profile_records(
         distilled=distilled,
         cost=cost,
         latency_seconds=latency,
+        provider_seconds=provider_seconds,
+        distilled_seconds=distilled_seconds,
         retries=retries,
         fallbacks=fallbacks,
         failures=failures,
@@ -151,8 +168,12 @@ class RunProfile:
             cache_exact=sum(r.cache_exact for r in self.rows),
             cache_near=sum(r.cache_near for r in self.rows),
             distilled=sum(r.distilled for r in self.rows),
-            cost=sum(r.cost for r in self.rows),
-            latency_seconds=sum(r.latency_seconds for r in self.rows),
+            # float(): summing zero rows yields int 0, which would render
+            # differently from 0.0 in canonical report JSON.
+            cost=float(sum(r.cost for r in self.rows)),
+            latency_seconds=float(sum(r.latency_seconds for r in self.rows)),
+            provider_seconds=float(sum(r.provider_seconds for r in self.rows)),
+            distilled_seconds=float(sum(r.distilled_seconds for r in self.rows)),
             retries=sum(r.retries for r in self.rows),
             fallbacks=sum(r.fallbacks for r in self.rows),
             failures=sum(r.failures for r in self.rows),
@@ -177,6 +198,8 @@ class RunProfile:
             and totals.failures == cost.failed_calls
             and abs(totals.cost - cost.cost) < 1e-9
             and abs(totals.latency_seconds - cost.latency_seconds) < 1e-6
+            and abs(totals.provider_seconds - cost.provider_seconds) < 1e-6
+            and abs(totals.distilled_seconds - cost.distilled_seconds) < 1e-6
         )
 
     def to_dict(self) -> list[dict[str, Any]]:

@@ -71,6 +71,8 @@ def run_lingua_manga_er(
     resume: bool = True,
     checkpoint: Any = None,
     columnar: bool | None = None,
+    autotune: bool = False,
+    profile_path: str | None = None,
 ) -> ERResult:
     """Instantiate the ER template, run it on the test split, score F1.
 
@@ -94,6 +96,8 @@ def run_lingua_manga_er(
         resume=resume,
         checkpoint=checkpoint,
         columnar=columnar,
+        autotune=autotune,
+        profile_path=profile_path,
     )
     after = system.usage()
     verdicts = next(iter(report.outputs.values()))

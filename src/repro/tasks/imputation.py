@@ -72,6 +72,8 @@ def run_llm_imputation(
     resume: bool = True,
     checkpoint: Any = None,
     columnar: bool | None = None,
+    autotune: bool = False,
+    profile_path: str | None = None,
 ) -> ImputationResult:
     """Pure LLM-module pipeline: one (validated) prompt per record.
 
@@ -94,6 +96,8 @@ def run_llm_imputation(
         resume=resume,
         checkpoint=checkpoint,
         columnar=columnar,
+        autotune=autotune,
+        profile_path=profile_path,
     )
     after = system.usage()
     return _score(
@@ -115,6 +119,8 @@ def run_hybrid_imputation(
     resume: bool = True,
     checkpoint: Any = None,
     columnar: bool | None = None,
+    autotune: bool = False,
+    profile_path: str | None = None,
 ) -> ImputationResult:
     """The expert template: LLMGC rules + LLM escalation (Figure 4).
 
@@ -134,6 +140,8 @@ def run_hybrid_imputation(
         resume=resume,
         checkpoint=checkpoint,
         columnar=columnar,
+        autotune=autotune,
+        profile_path=profile_path,
     )
     after = system.usage()
     return _score(

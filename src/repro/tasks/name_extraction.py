@@ -66,6 +66,8 @@ def run_name_extraction(
     resume: bool = True,
     checkpoint: Any = None,
     columnar: bool | None = None,
+    autotune: bool = False,
+    profile_path: str | None = None,
 ) -> NameExtractionResult:
     """Run the Figure 3 template over ``documents`` and score it.
 
@@ -84,6 +86,8 @@ def run_name_extraction(
         resume=resume,
         checkpoint=checkpoint,
         columnar=columnar,
+        autotune=autotune,
+        profile_path=profile_path,
     )
     after = system.usage()
     enriched = next(iter(report.outputs.values()))

@@ -1,0 +1,248 @@
+"""Property-based laws for the autotune profile store and cost models.
+
+The unit and e2e suites exercise the tuner on the real demo pipelines;
+these properties quantify over arbitrary store contents instead:
+
+- append → reload and append → compact → reload both reproduce exactly
+  the retained state (round-trip identity);
+- a torn or corrupt tail is truncated and counted, never raised, and the
+  intact prefix survives (crash recovery);
+- merging two stores is commutative: ``a.merge(b)`` and ``b.merge(a)``
+  retain identical state no matter which run wrote which store first;
+- fitted cost models are monotonic: predicting for more records never
+  yields a lower cost, fewer provider calls or less time.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimizer.autotune import (
+    Observation,
+    OperatorCostModel,
+    ProfileStore,
+    RunObservation,
+    fit_cost_model,
+    latency_histogram,
+)
+
+# -- strategies ---------------------------------------------------------------
+
+_floats = st.floats(
+    min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+_counts = st.integers(min_value=0, max_value=500)
+
+
+@st.composite
+def profile_rows(draw):
+    calls = draw(_counts)
+    provider = draw(st.integers(min_value=0, max_value=calls)) if calls else 0
+    cached = calls - provider
+    exact = draw(st.integers(min_value=0, max_value=cached)) if cached else 0
+    near = (
+        draw(st.integers(min_value=0, max_value=cached - exact))
+        if cached - exact
+        else 0
+    )
+    distilled = cached - exact - near
+    return {
+        "module": draw(st.sampled_from(["match", "extract", "impute"])),
+        "calls": calls,
+        "provider_calls": provider,
+        "cache_exact": exact,
+        "cache_near": near,
+        "distilled": distilled,
+        "cost": draw(_floats),
+        "latency_seconds": draw(_floats),
+        "provider_seconds": draw(_floats),
+        "distilled_seconds": draw(_floats),
+        "retries": 0,
+        "fallbacks": 0,
+        "failures": 0,
+        "quarantined": 0,
+    }
+
+
+@st.composite
+def observations(draw):
+    return Observation(
+        plan=draw(st.sampled_from(["plan-a", "plan-b"])),
+        op=draw(st.sampled_from(["match", "extract", "impute"])),
+        op_config=draw(st.sampled_from(["cfg1", "cfg2"])),
+        engine=draw(st.sampled_from(["batch", "stream"])),
+        records_in=draw(st.integers(min_value=1, max_value=10_000)),
+        row=draw(profile_rows()),
+        wall_seconds=draw(_floats),
+        knobs={"workers": draw(st.sampled_from([None, 1, 2, 8]))},
+    )
+
+
+@st.composite
+def run_observations(draw):
+    return RunObservation(
+        plan=draw(st.sampled_from(["plan-a", "plan-b"])),
+        engine=draw(st.sampled_from(["batch", "stream"])),
+        seq=draw(st.integers(min_value=1, max_value=64)),
+        records_in=draw(st.integers(min_value=0, max_value=10_000)),
+        totals=draw(profile_rows()),
+        wall_seconds=draw(_floats),
+        knobs={"workers": draw(st.sampled_from([None, 1, 8]))},
+        coalesced=draw(_counts),
+        latency_hist=latency_histogram(
+            draw(st.lists(_floats, max_size=16))
+        ),
+        key_digests=draw(
+            st.lists(st.text("0123456789abcdef", min_size=4, max_size=16), max_size=8)
+        ),
+        warm_eligible=draw(st.booleans()),
+    )
+
+
+_any_observation = st.one_of(observations(), run_observations())
+
+
+def _roundtrip(store_path, entries, keep):
+    store = ProfileStore(store_path, keep=keep)
+    for entry in entries:
+        store.append(entry)
+    state = store.state_dict()
+    store.close()
+    return state
+
+
+# -- store round-trips --------------------------------------------------------
+
+
+class TestStoreRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(entries=st.lists(_any_observation, max_size=24),
+           keep=st.integers(min_value=1, max_value=8))
+    def test_append_reload_roundtrip(self, entries, keep):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "prof.jsonl"
+            state = _roundtrip(path, entries, keep)
+            reloaded = ProfileStore(path, keep=keep)
+            assert reloaded.torn_bytes == 0
+            assert reloaded.state_dict() == state
+            reloaded.close()
+
+    @settings(max_examples=25, deadline=None)
+    @given(entries=st.lists(_any_observation, max_size=24),
+           keep=st.integers(min_value=1, max_value=4))
+    def test_compact_preserves_state(self, entries, keep):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "prof.jsonl"
+            store = ProfileStore(path, keep=keep)
+            for entry in entries:
+                store.append(entry)
+            state = store.state_dict()
+            written = store.compact()
+            assert store.state_dict() == state
+            store.close()
+            reloaded = ProfileStore(path, keep=keep)
+            assert reloaded.lines_loaded == written
+            assert reloaded.state_dict() == state
+            reloaded.close()
+
+    @settings(max_examples=25, deadline=None)
+    @given(entries=st.lists(_any_observation, max_size=12),
+           cut=st.integers(min_value=1, max_value=40),
+           garbage=st.binary(min_size=0, max_size=64))
+    def test_torn_tail_truncated_never_raised(self, entries, cut, garbage):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "prof.jsonl"
+            store = ProfileStore(path)
+            for entry in entries:
+                store.append(entry)
+            intact = store.state_dict()
+            store.close()
+            # Smear an unterminated record fragment after the intact
+            # prefix, the way a crash mid-write does.
+            torn = (b'{"kind": "op", "plan": "x', garbage.replace(b"\n", b""))
+            path.open("ab").write(torn[0][:cut] + torn[1])
+            recovered = ProfileStore(path)
+            assert recovered.torn_bytes > 0
+            assert recovered.state_dict() == intact
+            recovered.close()
+
+    @settings(max_examples=40, deadline=None)
+    @given(left=st.lists(_any_observation, max_size=16),
+           right=st.lists(_any_observation, max_size=16))
+    def test_merge_commutative(self, left, right):
+        a = ProfileStore()
+        b = ProfileStore()
+        for entry in left:
+            a.append(entry)
+        for entry in right:
+            b.append(entry)
+        assert a.merge(b).state_dict() == b.merge(a).state_dict()
+
+    @settings(max_examples=40, deadline=None)
+    @given(entries=st.lists(_any_observation, max_size=16))
+    def test_merge_idempotent_on_duplicates(self, entries):
+        # Merging a store with itself carries no new information: it equals
+        # merging with an empty store (both canonicalize to obs_id order).
+        a = ProfileStore()
+        for entry in entries:
+            a.append(entry)
+        assert a.merge(a).state_dict() == a.merge(ProfileStore()).state_dict()
+
+
+# -- cost-model monotonicity --------------------------------------------------
+
+
+class TestCostModelMonotonicity:
+    @settings(max_examples=60, deadline=None)
+    @given(obs=st.lists(observations(), max_size=12),
+           smaller=st.integers(min_value=0, max_value=5_000),
+           delta=st.integers(min_value=0, max_value=5_000),
+           hit_rate=st.one_of(st.none(), st.floats(min_value=0.0, max_value=1.0)))
+    def test_more_records_never_cheaper(self, obs, smaller, delta, hit_rate):
+        model = fit_cost_model("op", obs)
+        low = model.predict(smaller, hit_rate=hit_rate)
+        high = model.predict(smaller + delta, hit_rate=hit_rate)
+        for key in ("provider_calls", "cost", "provider_seconds", "wall_seconds"):
+            assert high[key] >= low[key]
+
+    @settings(max_examples=60, deadline=None)
+    @given(obs=st.lists(observations(), max_size=12))
+    def test_fitted_coefficients_nonnegative(self, obs):
+        model = fit_cost_model("op", obs)
+        assert model.calls_per_record >= 0.0
+        assert model.per_call_cost >= 0.0
+        assert model.per_call_seconds >= 0.0
+        assert model.per_record_wall >= 0.0
+        assert model.base_wall >= 0.0
+        assert 0.0 <= model.hit_rate <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(obs=st.lists(observations(), min_size=1, max_size=12),
+           records=st.integers(min_value=0, max_value=10_000))
+    def test_warm_extrapolation_is_free(self, obs, records):
+        # hit_rate=1.0 is the verified-warm extrapolation: no paid calls.
+        model = fit_cost_model("op", obs)
+        warm = model.predict(records, hit_rate=1.0)
+        assert warm["provider_calls"] == 0.0
+        assert warm["cost"] == 0.0
+        assert warm["provider_seconds"] == 0.0
+
+    def test_deterministic_given_store_contents(self):
+        rows = [
+            Observation(
+                plan="p", op="op", op_config="c", engine="batch",
+                records_in=10 * (i + 1),
+                row={"calls": 10, "provider_calls": 4, "cache_exact": 6,
+                     "cache_near": 0, "distilled": 0, "cost": 0.4,
+                     "provider_seconds": 2.0, "distilled_seconds": 0.0},
+                wall_seconds=0.1 * (i + 1),
+                knobs={},
+            )
+            for i in range(4)
+        ]
+        assert fit_cost_model("op", rows) == fit_cost_model("op", list(rows))
+        assert isinstance(fit_cost_model("op", []), OperatorCostModel)

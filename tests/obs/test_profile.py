@@ -50,6 +50,20 @@ class TestProfileRecords:
         assert row.quarantined == 2
         assert row.cost == pytest.approx(0.01)
 
+    def test_provider_and_distilled_time_split(self):
+        rows = [
+            record(latency_seconds=2.0),
+            record(cached=True, cost=0.0, outcome=OUTCOME_CACHED,
+                   provenance="cache-exact", latency_seconds=0.0),
+            record(cached=True, cost=0.0, outcome=OUTCOME_CACHED,
+                   provenance="distilled", latency_seconds=0.25),
+        ]
+        row = profile_records("m", rows)
+        assert row.provider_seconds == pytest.approx(2.0)
+        assert row.distilled_seconds == pytest.approx(0.25)
+        # The overall latency column still counts every record.
+        assert row.latency_seconds == pytest.approx(2.25)
+
     def test_failures_fallbacks_retries(self):
         rows = [
             record(retries=2),
@@ -120,6 +134,8 @@ class TestRunProfile:
             failed_calls=totals.failures,
             near_hits=totals.cache_near,
             distilled_calls=totals.distilled,
+            provider_seconds=totals.provider_seconds,
+            distilled_seconds=totals.distilled_seconds,
         )
         assert profile.reconciles_with(snapshot)
         off_by_one = CostSnapshot(
