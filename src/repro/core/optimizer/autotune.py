@@ -28,10 +28,13 @@ were hand-picked per call site.  This module closes the loop:
 **Tuning never changes outputs.**  Applied decisions are restricted to
 knobs proven byte-identical by the determinism suite — scheduler worker
 counts (1/2/8) and columnar on/off always; chunk size and prefetch on/off
-only on *verified fully-warm* runs, where every prompt the plan will ask
-is already in the exact cache tier (proved by comparing the stored key
-digests of the previous run's ledger against the live cache), so chunk
-boundaries and the prime scan are provably output-neutral.  Knobs that do
+only on *verified fully-warm* batch runs, where every prompt the plan
+will ask is already in the exact cache tier (proved by comparing the
+stored key digests of the previous run's ledger against the live cache),
+so chunk boundaries and the prime scan are provably output-neutral.
+Streaming runs tune the worker count only: their plan key excludes the
+input data, so warmth can never be verified, and a resumable shard ledger
+is keyed by chunk-size-dependent fingerprints anyway.  Knobs that do
 change outputs — the distillation routing threshold (order-dependent) and
 the near-duplicate cache tier (changes ledger provenance) — are recorded
 as **advisory** decisions with ``applied: false``.
@@ -460,7 +463,7 @@ class OperatorCostModel:
     calls_per_record: float = 0.0
     #: mean dollar cost of one paid provider call
     per_call_cost: float = 0.0
-    #: mean virtual seconds of one paid provider call
+    #: mean virtual seconds of one provider-path call (paid or failed)
     per_call_seconds: float = 0.0
     #: mean virtual seconds of one distilled local answer
     per_distilled_seconds: float = 0.0
@@ -502,6 +505,13 @@ def fit_cost_model(op: str, observations: list[Observation]) -> OperatorCostMode
     total_records = sum(o.records_in for o in observations)
     total_calls = sum(int(o.row.get("calls", 0)) for o in observations)
     total_paid = sum(int(o.row.get("provider_calls", 0)) for o in observations)
+    # provider_seconds accumulates every non-cached record's latency —
+    # failures and fallbacks included — so the per-call rate divides by
+    # the provider-path record count (paid successes + failures), not by
+    # paid successes alone, or retried runs would bias latency upward.
+    total_provider_path = total_paid + sum(
+        int(o.row.get("failures", 0)) for o in observations
+    )
     total_cached = sum(
         int(o.row.get("cache_exact", 0))
         + int(o.row.get("cache_near", 0))
@@ -536,7 +546,9 @@ def fit_cost_model(op: str, observations: list[Observation]) -> OperatorCostMode
         calls_per_record=(total_calls / total_records) if total_records else 0.0,
         per_call_cost=(total_cost / total_paid) if total_paid else 0.0,
         per_call_seconds=(
-            total_provider_seconds / total_paid if total_paid else 0.0
+            total_provider_seconds / total_provider_path
+            if total_provider_path
+            else 0.0
         ),
         per_distilled_seconds=(
             total_distilled_seconds / total_distilled if total_distilled else 0.0
@@ -682,7 +694,16 @@ class PlanTuner:
         True only when the last stored run was warm-eligible (every ledger
         record succeeded, none distilled, under the digest cap) and every
         key digest it recorded is present in the live exact tier.
+
+        Streaming runs are never warm-verifiable: their plan key is built
+        from ``fingerprint(None)`` — it excludes the input data — so a
+        previous run's key digests prove nothing about the records the
+        incoming iterable will actually ask about.  Declaring a different
+        dataset "warm" would apply the warm-only knobs to what is really a
+        cold run and change its ledger.
         """
+        if self.engine == "stream":
+            return False
         last = self.store.last_run(plan_key)
         if last is None or not last.warm_eligible or not last.key_digests:
             return False
@@ -861,6 +882,12 @@ class PlanTuner:
             tuning.columnar = chosen
 
     def _decide_chunking(self, tuning: TuningPlan, checkpointed: bool) -> None:
+        if self.engine == "stream":
+            # Streaming tunes workers only: a resumable ledger keys its
+            # replay prefix on shard fingerprints cut at chunk_size, so a
+            # tuned chunk size (or a disabled prime scan) would orphan the
+            # prefix of any later run without the same tuning.
+            return
         if checkpointed:
             basis = (
                 "checkpointed run: chunk boundaries are journaled identity, "
@@ -1025,7 +1052,14 @@ class PlanTuner:
                 )
             )
         slice_ = self.service.records[self._ledger_mark :]
-        warm_eligible = bool(slice_) and len(slice_) <= KEY_DIGEST_CAP
+        # Streaming runs are never warm-eligible: their plan key excludes
+        # the input data, so stored digests could "prove" warmth for a
+        # different dataset (see :meth:`_verify_warm`).
+        warm_eligible = (
+            self.engine != "stream"
+            and bool(slice_)
+            and len(slice_) <= KEY_DIGEST_CAP
+        )
         digests: list[str] = []
         provider_identity = self.service.provider.cache_identity()
         for record in slice_:
@@ -1066,11 +1100,15 @@ class PlanTuner:
             "actual": actual,
             "delta": delta,
         }
+        last_run = self.store.last_run(plan_key)
         self.store.append(
             RunObservation(
                 plan=plan_key,
                 engine=self.engine,
-                seq=len(self.store.runs(plan_key)) + 1,
+                # Continue from the last retained run's seq, not the bucket
+                # length: the store keeps at most `keep` runs, so counting
+                # the bucket would saturate at keep+1 instead of growing.
+                seq=(last_run.seq if last_run is not None else 0) + 1,
                 records_in=records_in,
                 totals=totals.to_dict(),
                 wall_seconds=wall_seconds,

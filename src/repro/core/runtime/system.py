@@ -172,39 +172,42 @@ class LinguaManga:
         plan = None
         tuner = None
         tuning = None
-        if autotune:
-            from repro.core.optimizer.autotune import (
-                PlanTuner,
-                ProfileStore,
-                resolve_profile_path,
-            )
-
-            plan = self.compile(pipeline)
-            store = ProfileStore(resolve_profile_path(profile_path, self.service))
-            tuner = PlanTuner(store, plan, self.service, engine="batch")
-            tuning = tuner.tune(
-                inputs,
-                workers=workers,
-                chunk_size=chunk_size,
-                columnar=columnar,
-                checkpointed=checkpoint is not None,
-            )
-            workers = tuning.workers
-            columnar = tuning.columnar
-        if checkpoint is not None and workers is None:
-            workers = 1
+        store = None
         try:
-            with columnar_mode(resolve_columnar(columnar)):
-                if tuner is None:
-                    return self.compile(pipeline).execute(
-                        inputs,
-                        workers=workers,
-                        chunk_size=chunk_size,
-                        checkpoint=checkpoint,
-                    )
-                from repro.core.optimizer.autotune import observe_run
+            if autotune:
+                from repro.core.optimizer.autotune import (
+                    PlanTuner,
+                    ProfileStore,
+                    resolve_profile_path,
+                )
 
-                try:
+                plan = self.compile(pipeline)
+                store = ProfileStore(
+                    resolve_profile_path(profile_path, self.service)
+                )
+                tuner = PlanTuner(store, plan, self.service, engine="batch")
+                tuning = tuner.tune(
+                    inputs,
+                    workers=workers,
+                    chunk_size=chunk_size,
+                    columnar=columnar,
+                    checkpointed=checkpoint is not None,
+                )
+                workers = tuning.workers
+                columnar = tuning.columnar
+            if checkpoint is not None and workers is None:
+                workers = 1
+            try:
+                with columnar_mode(resolve_columnar(columnar)):
+                    if tuner is None:
+                        return self.compile(pipeline).execute(
+                            inputs,
+                            workers=workers,
+                            chunk_size=chunk_size,
+                            checkpoint=checkpoint,
+                        )
+                    from repro.core.optimizer.autotune import observe_run
+
                     with tuning.applied(), observe_run() as walltime:
                         report = plan.execute(
                             inputs,
@@ -214,11 +217,14 @@ class LinguaManga:
                         )
                     tuner.record(report, walltime["wall_seconds"])
                     return report
-                finally:
-                    tuner.store.close()
+            finally:
+                if checkpoint is not None:
+                    checkpoint.close()
         finally:
-            if checkpoint is not None:
-                checkpoint.close()
+            # The store takes a journal file handle at construction, so it
+            # must close even when tune() or plan setup raises.
+            if store is not None:
+                store.close()
 
     def run_stream(
         self,
@@ -289,61 +295,68 @@ class LinguaManga:
         plan = self.compile(pipeline)
         tuner = None
         tuning = None
-        if autotune:
-            from repro.core.optimizer.autotune import (
-                PlanTuner,
-                ProfileStore,
-                resolve_profile_path,
-            )
-
-            store = ProfileStore(resolve_profile_path(profile_path, self.service))
-            tuner = PlanTuner(store, plan, self.service, engine="stream")
-            tuning = tuner.tune(None, workers=workers, chunk_size=chunk_size)
-            workers = tuning.workers
-        if workers is None:
-            workers = 1
-        ephemeral = False
-        if ledger is None:
-            if ledger_path is None:
-                ledger_path = (
-                    Path(tempfile.mkdtemp(prefix="repro-stream-")) / "ledger.jsonl"
-                )
-                ephemeral = True
-            ledger = ShardLedger(ledger_path, resume=resume)
-        executor = StreamingExecutor(
-            plan,
-            ledger=ledger,
-            workers=workers,
-            chunk_size=chunk_size,
-            window=window,
-            max_attempts=max_attempts,
-            lease_timeout=lease_timeout,
-            sink=sink,
-            spill_dir=spill_dir,
-            spill_budget_bytes=spill_budget_bytes,
-            source_id=source_id,
-            crash=crash,
-            kill=kill,
-            lease_fault=lease_fault,
-            spill_fault=spill_fault,
-        )
+        store = None
         try:
-            if tuner is None:
-                report = executor.execute(inputs)
-            else:
-                from repro.core.optimizer.autotune import observe_run
+            if autotune:
+                from repro.core.optimizer.autotune import (
+                    PlanTuner,
+                    ProfileStore,
+                    resolve_profile_path,
+                )
 
-                try:
+                store = ProfileStore(
+                    resolve_profile_path(profile_path, self.service)
+                )
+                tuner = PlanTuner(store, plan, self.service, engine="stream")
+                tuning = tuner.tune(None, workers=workers, chunk_size=chunk_size)
+                workers = tuning.workers
+            if workers is None:
+                workers = 1
+            ephemeral = False
+            if ledger is None:
+                if ledger_path is None:
+                    ledger_path = (
+                        Path(tempfile.mkdtemp(prefix="repro-stream-"))
+                        / "ledger.jsonl"
+                    )
+                    ephemeral = True
+                ledger = ShardLedger(ledger_path, resume=resume)
+            executor = StreamingExecutor(
+                plan,
+                ledger=ledger,
+                workers=workers,
+                chunk_size=chunk_size,
+                window=window,
+                max_attempts=max_attempts,
+                lease_timeout=lease_timeout,
+                sink=sink,
+                spill_dir=spill_dir,
+                spill_budget_bytes=spill_budget_bytes,
+                source_id=source_id,
+                crash=crash,
+                kill=kill,
+                lease_fault=lease_fault,
+                spill_fault=spill_fault,
+            )
+            try:
+                if tuner is None:
+                    report = executor.execute(inputs)
+                else:
+                    from repro.core.optimizer.autotune import observe_run
+
                     with tuning.applied(), observe_run() as walltime:
                         report = executor.execute(inputs)
                     tuner.record(report, walltime["wall_seconds"])
-                finally:
-                    tuner.store.close()
-            if ephemeral:
-                ledger.delete()
-            return report
+                if ephemeral:
+                    ledger.delete()
+                return report
+            finally:
+                ledger.close()
         finally:
-            ledger.close()
+            # The store takes a journal file handle at construction, so it
+            # must close even when tune() or executor setup raises.
+            if store is not None:
+                store.close()
 
     # -- data and services ---------------------------------------------------------------
 

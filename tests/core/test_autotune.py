@@ -217,12 +217,118 @@ class TestStreaming:
         }
         assert applied <= {"workers"}
 
+    def test_stream_never_verifies_warm_even_from_legacy_store(self, tmp_path):
+        """A warm-looking store must not unlock chunk/prefetch for streams.
+
+        The streaming plan key is built from ``fingerprint(None)`` — it
+        excludes the input data — so stored digests from a previous run
+        prove nothing about the incoming iterable.  Even a store whose
+        last stream run claims ``warm_eligible`` with every digest live
+        in the exact tier (e.g. written before the engine gate existed)
+        must tune workers only.
+        """
+        from repro.core.optimizer.autotune import (
+            Observation,
+            RunObservation,
+            op_config_digest,
+        )
+
+        corpus = StreamingERCorpus(16, seed=7)
+        pairs = list(corpus.inputs())
+        pipeline = get_template("entity_resolution").instantiate(
+            examples=StreamingERCorpus(16, seed=7).examples()
+        )
+        system = LinguaManga(cache_path=str(tmp_path / "cache.jsonl"))
+        plan = system.compile(pipeline)
+        plan.execute({"pairs": pairs})  # warm the live exact tier
+        live = system.service.cache.exact_digests()
+        assert live
+
+        store = ProfileStore(None)
+        tuner = PlanTuner(store, plan, system.service, engine="stream")
+        plan_key = tuner.plan_key(None)
+        for binding in plan.bound:
+            store.append(
+                Observation(
+                    plan=plan_key,
+                    op=binding.operator.name,
+                    op_config=op_config_digest(binding.module.config_identity()),
+                    engine="stream",
+                    records_in=len(pairs),
+                    row={"calls": len(pairs), "provider_calls": len(pairs),
+                         "cost": 0.1, "provider_seconds": 1.0},
+                    wall_seconds=0.05,
+                    knobs={},
+                )
+            )
+        store.append(
+            RunObservation(
+                plan=plan_key,
+                engine="stream",
+                seq=1,
+                records_in=len(pairs),
+                totals={},
+                wall_seconds=0.1,
+                knobs={},
+                coalesced=0,
+                latency_hist=[],
+                key_digests=sorted(live),
+                warm_eligible=True,  # forged: pre-gate stores could claim this
+            )
+        )
+        tuning = tuner.tune(None)
+        assert tuning.verified_warm is False
+        knobs = {decision.knob for decision in tuning.decisions}
+        assert "chunk_size" not in knobs
+        assert "prefetch" not in knobs
+        assert tuning.module_knobs == []
+
+    def test_stream_runs_recorded_warm_ineligible(self, tmp_path):
+        """Stream run lines persist ``warm_eligible=False`` by design."""
+        self._stream(tmp_path, autotune=True, name="a")
+        store = ProfileStore(tmp_path / "a-prof.jsonl")
+        (plan_key,) = store.state_dict()["runs"]
+        last = store.last_run(plan_key)
+        assert last.warm_eligible is False
+        assert last.key_digests == []
+        store.close()
+
     def test_distilled_seconds_surfaced_separately(self, tmp_path):
         report = self._stream(tmp_path, autotune=False, name="a", workers=1)
         payload = json.loads(report.canonical_json())
         assert "provider_seconds" in payload["cost"]
         assert "distilled_seconds" in payload["cost"]
         assert payload["cost"]["distilled_seconds"] == 0.0
+
+
+class TestRunSeq:
+    def test_seq_outlives_compaction_window(self, tmp_path):
+        """Run seq keeps counting past the keep-N retention window.
+
+        The store retains at most ``keep`` runs per plan, so deriving seq
+        from the bucket length would saturate at keep+1; it must continue
+        from the last retained run's seq instead.
+        """
+        from repro.core.optimizer.autotune import observe_run
+
+        corpus = StreamingERCorpus(8, seed=7)
+        pairs = list(corpus.inputs())
+        pipeline = get_template("entity_resolution").instantiate(
+            examples=StreamingERCorpus(8, seed=7).examples()
+        )
+        system = LinguaManga(cache_path=str(tmp_path / "cache.jsonl"))
+        store = ProfileStore(tmp_path / "prof.jsonl", keep=2)
+        plan_key = None
+        for _ in range(4):
+            plan = system.compile(pipeline)
+            tuner = PlanTuner(store, plan, system.service, engine="batch")
+            tuning = tuner.tune({"pairs": pairs})
+            with tuning.applied(), observe_run() as walltime:
+                report = plan.execute({"pairs": pairs})
+            tuner.record(report, walltime["wall_seconds"])
+            plan_key = tuning.plan_key
+        assert [run.seq for run in store.runs(plan_key)] == [3, 4]
+        store.close()
 
 
 class TestStoreResolution:

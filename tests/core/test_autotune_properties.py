@@ -231,6 +231,26 @@ class TestCostModelMonotonicity:
         assert warm["cost"] == 0.0
         assert warm["provider_seconds"] == 0.0
 
+    def test_per_call_seconds_over_provider_path_records(self):
+        # provider_seconds includes failed attempts' latency, so the
+        # per-call rate divides by paid + failed, not paid alone — a
+        # retried run must not bias the latency estimate upward.
+        rows = [
+            Observation(
+                plan="p", op="op", op_config="c", engine="batch",
+                records_in=10,
+                row={"calls": 10, "provider_calls": 4, "failures": 2,
+                     "cache_exact": 4, "cache_near": 0, "distilled": 0,
+                     "cost": 0.4, "provider_seconds": 3.0,
+                     "distilled_seconds": 0.0},
+                wall_seconds=0.1,
+                knobs={},
+            )
+        ]
+        model = fit_cost_model("op", rows)
+        assert model.per_call_seconds == 3.0 / 6
+        assert model.per_call_cost == 0.4 / 4
+
     def test_deterministic_given_store_contents(self):
         rows = [
             Observation(
