@@ -278,6 +278,7 @@ class PhysicalPlan:
         workers: int | None = None,
         chunk_size: int | None = None,
         checkpoint: "Any | None" = None,
+        cancel: "Any | None" = None,
     ) -> RunReport:
         """Run the plan; returns a :class:`RunReport` with sink outputs.
 
@@ -301,6 +302,14 @@ class PhysicalPlan:
         byte-identical to an uninterrupted run.  Checkpointed execution
         always rides the scheduler (``workers`` defaults to 1 here) so
         chunk boundaries exist to journal.
+
+        ``cancel`` (a :class:`~repro.core.runtime.cancel.CancelToken`)
+        enables cooperative cancellation: the token is checked between
+        operators and before every chunk, and raises
+        :class:`~repro.core.runtime.cancel.JobCancelled` at the first
+        boundary after it fires — so a checkpointed run that is cancelled
+        leaves a valid replayable journal prefix behind (it is resumable,
+        not lost).
         """
         scheduler = None
         if workers is not None or checkpoint is not None:
@@ -308,7 +317,9 @@ class PhysicalPlan:
             # facade, which imports this module.
             from repro.core.runtime.scheduler import Scheduler
 
-            scheduler = Scheduler(workers=workers or 1, chunk_size=chunk_size)
+            scheduler = Scheduler(
+                workers=workers or 1, chunk_size=chunk_size, cancel=cancel
+            )
         inputs = inputs or {}
         values: dict[str, Any] = {}
         report = RunReport(pipeline_name=self.pipeline.name)
@@ -330,6 +341,8 @@ class PhysicalPlan:
         )
         with CostTracker(service) as tracker, run_span:
             for op_index, binding in enumerate(self.bound):
+                if cancel is not None:
+                    cancel.raise_if_cancelled()
                 operator = binding.operator
                 if not operator.inputs:
                     argument: Any = inputs

@@ -1,5 +1,6 @@
 """Runtime facade: system, scheduler, checkpoints, streaming work queue."""
 
+from repro.core.runtime.cancel import CancelToken, JobCancelled
 from repro.core.runtime.checkpoint import (
     CheckpointError,
     CheckpointJournal,
@@ -20,6 +21,8 @@ from repro.core.runtime.workqueue import (
 __all__ = [
     "LinguaManga",
     "Scheduler",
+    "CancelToken",
+    "JobCancelled",
     "RunCheckpoint",
     "CheckpointJournal",
     "CheckpointError",

@@ -1,0 +1,76 @@
+"""Cooperative cancellation for long-lived runs.
+
+The serving layer (:mod:`repro.serve`) owns jobs that may be cancelled by a
+tenant or torn down by a server shutdown while an execution is deep inside
+the scheduler.  Cancellation is **cooperative and boundary-aligned**: a
+:class:`CancelToken` is threaded through ``system.run`` → ``plan.execute``
+→ the scheduler, which checks it between operators and before every record
+chunk.  Raising only at those boundaries keeps a checkpointed run's
+write-ahead journal valid — everything journalled before the cancel is a
+replayable prefix, so a cancelled job with a checkpoint is *resumable*,
+not lost.
+
+:class:`JobCancelled` derives from :class:`BaseException` for the same
+reason :class:`~repro.llm.faults.CrashInjected` does: record-quarantine
+policies catch ``Exception`` broadly, and a cancellation must unwind the
+run rather than be absorbed as one more poisoned record.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["JobCancelled", "CancelToken"]
+
+
+class JobCancelled(BaseException):
+    """Raised at the next execution boundary after a token is cancelled."""
+
+    def __init__(self, reason: str = "cancelled"):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class CancelToken:
+    """A thread-safe cancellation flag checked at execution boundaries.
+
+    ``cancel()`` may be called from any thread (an HTTP handler, a server
+    shutdown path); the run that holds the token observes it at its next
+    operator or chunk boundary and unwinds with :class:`JobCancelled`.
+    ``reason`` distinguishes a tenant cancel from a server kill so the job
+    store can record the right terminal state.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._reason = "cancelled"
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Request cancellation; idempotent (the first reason wins)."""
+        if not self._event.is_set():
+            self._reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether cancellation has been requested."""
+        return self._event.is_set()
+
+    @property
+    def reason(self) -> str:
+        """Why the token was cancelled (meaningful once ``cancelled``)."""
+        return self._reason
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until cancellation is requested; returns whether it was.
+
+        Lets a test (or a shutdown path) sequence "cancellation has been
+        observed-able" before releasing whatever the run is blocked on,
+        without polling.
+        """
+        return self._event.wait(timeout)
+
+    def raise_if_cancelled(self) -> None:
+        """Raise :class:`JobCancelled` when cancellation was requested."""
+        if self._event.is_set():
+            raise JobCancelled(self._reason)

@@ -187,11 +187,20 @@ class Scheduler:
         ``preferred_chunk_size`` and then :data:`DEFAULT_CHUNK_SIZE`.
     """
 
-    def __init__(self, workers: int = 1, chunk_size: int | None = None):
+    def __init__(
+        self,
+        workers: int = 1,
+        chunk_size: int | None = None,
+        cancel: "Any | None" = None,
+    ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.workers = workers
         self.chunk_size = chunk_size
+        #: optional :class:`~repro.core.runtime.cancel.CancelToken`; checked
+        #: before every chunk so a cancelled job unwinds at a journal-valid
+        #: boundary instead of mid-provider-call.
+        self.cancel = cancel
 
     def _chunk_size_for(self, module: Module) -> int:
         return resolve_chunk_size(module, self.chunk_size)
@@ -222,6 +231,8 @@ class Scheduler:
         ``chunk:entered`` / ``chunk:executed`` / ``chunk:journaled`` are
         announced around each live chunk.
         """
+        if self.cancel is not None:
+            self.cancel.raise_if_cancelled()
         if not self.should_chunk(module, value):
             return module.run(value)
 
@@ -258,6 +269,8 @@ class Scheduler:
                 sizes.observe(len(chunk))
 
         def task(index: int, chunk: list[Any]) -> tuple[CallScope, ChunkOutcome]:
+            if self.cancel is not None:
+                self.cancel.raise_if_cancelled()
             if op_ctx is not None:
                 op_ctx.crash("chunk:entered")
             with service.scoped(base) as scope:

@@ -125,6 +125,7 @@ class LinguaManga:
         columnar: bool | None = None,
         autotune: bool = False,
         profile_path: "str | Any | None" = None,
+        cancel: "Any | None" = None,
     ) -> RunReport:
         """Compile and execute in one step.
 
@@ -160,6 +161,13 @@ class LinguaManga:
         ``report.tuning`` and the trace; the finished run's profile is
         appended to the store for the next run.  Caller-pinned knobs are
         never overridden (they are recorded under ``tuning["pinned"]``).
+
+        ``cancel`` (a :class:`~repro.core.runtime.cancel.CancelToken`)
+        makes the run cooperatively cancellable: the serving layer cancels
+        a job from another thread and execution unwinds with
+        :class:`~repro.core.runtime.cancel.JobCancelled` at the next
+        operator/chunk boundary — combined with ``checkpoint_path`` the
+        cancelled run stays resumable.
         """
         from repro.storage.columnar import columnar_mode, resolve_columnar
 
@@ -205,6 +213,7 @@ class LinguaManga:
                             workers=workers,
                             chunk_size=chunk_size,
                             checkpoint=checkpoint,
+                            cancel=cancel,
                         )
                     from repro.core.optimizer.autotune import observe_run
 
@@ -214,6 +223,7 @@ class LinguaManga:
                             workers=workers,
                             chunk_size=chunk_size,
                             checkpoint=checkpoint,
+                            cancel=cancel,
                         )
                     tuner.record(report, walltime["wall_seconds"])
                     return report

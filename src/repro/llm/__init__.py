@@ -32,7 +32,7 @@ from repro.llm.providers import (
     LLMResponse,
     SimulatedProvider,
 )
-from repro.llm.service import CallRecord, LLMService, UsageSummary
+from repro.llm.service import CallRecord, CoalesceHub, LLMService, UsageSummary
 from repro.llm.tokenizer import count_tokens, estimate_cost
 
 __all__ = [
@@ -52,6 +52,7 @@ __all__ = [
     "LLMResponse",
     "SimulatedProvider",
     "CallRecord",
+    "CoalesceHub",
     "LLMService",
     "UsageSummary",
     "PROVENANCE_PROVIDER",

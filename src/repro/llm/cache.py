@@ -72,12 +72,21 @@ class CacheKey:
     part of the key so a provider swap or a prompt-template revision can
     never serve stale answers, and two skills sharing a prompt string
     cannot collide.
+
+    ``namespace`` is the **tenant isolation boundary** the serving layer
+    (:mod:`repro.serve`) rides on: every key a tenant's jobs create carries
+    that tenant's namespace, so two tenants asking the byte-identical
+    prompt can never serve each other's cached answers — isolation is a
+    property of the key, not of cache-object plumbing.  The default ``""``
+    (single-tenant library use) leaves digests and journal bytes exactly
+    as they were before namespaces existed.
     """
 
     provider: str
     version: str
     prompt: str
     max_tokens: int
+    namespace: str = ""
 
 
 def key_digest(key: CacheKey) -> str:
@@ -86,12 +95,14 @@ def key_digest(key: CacheKey) -> str:
     The checkpoint header records the digests of the cache state at run
     start instead of the entries themselves, so resume can reconcile a
     journal polluted by the crashed run's own appends without shipping
-    prompt text around.
+    prompt text around.  Namespaced keys append the namespace to the
+    digested payload; the un-namespaced payload shape is unchanged, so
+    every digest recorded before namespaces existed still verifies.
     """
-    payload = json.dumps(
-        [key.provider, key.version, key.prompt, key.max_tokens],
-        ensure_ascii=False,
-    )
+    parts: list = [key.provider, key.version, key.prompt, key.max_tokens]
+    if key.namespace:
+        parts.append(key.namespace)
+    payload = json.dumps(parts, ensure_ascii=False)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
@@ -118,12 +129,19 @@ class CacheStats:
 
 
 def _encode_entry(key: CacheKey, response: LLMResponse) -> str:
+    payload: dict = {
+        "provider": key.provider,
+        "version": key.version,
+        "prompt": key.prompt,
+        "max_tokens": key.max_tokens,
+    }
+    if key.namespace:
+        # Written only when set so un-namespaced journals keep their
+        # pre-namespace byte format (and digests) exactly.
+        payload["namespace"] = key.namespace
     return json.dumps(
         {
-            "provider": key.provider,
-            "version": key.version,
-            "prompt": key.prompt,
-            "max_tokens": key.max_tokens,
+            **payload,
             "response": {
                 "text": response.text,
                 "prompt_tokens": response.prompt_tokens,
@@ -145,6 +163,7 @@ def _decode_entry(line: str) -> tuple[CacheKey, LLMResponse]:
         version=str(payload["version"]),
         prompt=str(payload["prompt"]),
         max_tokens=int(payload["max_tokens"]),
+        namespace=str(payload.get("namespace", "")),
     )
     raw = payload["response"]
     response = LLMResponse(
@@ -285,10 +304,11 @@ class NearDuplicateIndex:
         return [key for key, _, _, _, _ in self._entries]
 
     @staticmethod
-    def _scope(key: CacheKey) -> tuple[str, str, int]:
-        # Near-hits must never cross provider, version or max_tokens
-        # boundaries — only the prompt text is allowed to be fuzzy.
-        return (key.provider, key.version, key.max_tokens)
+    def _scope(key: CacheKey) -> tuple[str, str, int, str]:
+        # Near-hits must never cross provider, version, max_tokens or
+        # tenant-namespace boundaries — only the prompt text is allowed
+        # to be fuzzy.
+        return (key.provider, key.version, key.max_tokens, key.namespace)
 
     def build(self, items: Iterable[tuple[CacheKey, LLMResponse]]) -> None:
         """(Re)build the sealed index from ``items``."""

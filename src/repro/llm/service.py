@@ -78,6 +78,7 @@ __all__ = [
     "UsageSummary",
     "CallScope",
     "LLMService",
+    "CoalesceHub",
     "DEFAULT_RETRY_JITTER",
 ]
 
@@ -222,9 +223,20 @@ class LLMService:
         cache: PromptCache | None = None,
         cache_path: str | Path | None = None,
         obs: "object | None" = None,
+        namespace: str = "",
+        coalesce_hub: "CoalesceHub | None" = None,
     ):
         self.provider = provider or SimulatedProvider()
         self.cache_enabled = cache_enabled
+        #: Tenant namespace stamped into every cache key this service makes.
+        #: ``""`` (the default) is the single-tenant identity and leaves key
+        #: digests exactly as they were before namespaces existed.
+        self.namespace = namespace
+        #: Optional cross-service :class:`CoalesceHub` for multi-tenant
+        #: serving: services sharing one provider object deduplicate
+        #: identical in-flight provider requests through it while keeping
+        #: their ledgers and namespaced caches fully isolated.
+        self.coalesce_hub = coalesce_hub
         self.max_calls = max_calls
         self.max_cost = max_cost
         self.policy = policy or ResiliencePolicy(
@@ -289,7 +301,22 @@ class LLMService:
             version=version,
             prompt=prompt,
             max_tokens=max_tokens,
+            namespace=self.namespace,
         )
+
+    def _hub(self) -> "CoalesceHub | None":
+        """The coalesce hub, iff this service's provider is the hub's.
+
+        Identity (``is``), not equality: a job that wraps the shared
+        provider in its own chaos/fault injector must bypass the hub —
+        its faults are private to that job and sharing its responses (or
+        serving it another tenant's clean response) would corrupt both
+        ledgers.
+        """
+        hub = self.coalesce_hub
+        if hub is not None and hub.provider is self.provider:
+            return hub
+        return None
 
     def _provider_chain(self) -> list[LLMProvider]:
         chain = [self.provider]
@@ -542,7 +569,11 @@ class LLMService:
         with self._lock:
             epoch = self._cache_epoch
         request = LLMRequest(prompt=prompt, max_tokens=max_tokens)
-        response, outcome, retries = self._complete_resilient(request, purpose)
+        hub = self._hub()
+        if hub is not None:
+            response, outcome, retries = self._complete_via_hub(hub, request, purpose)
+        else:
+            response, outcome, retries = self._complete_resilient(request, purpose)
         cost = estimate_cost(response.prompt_tokens, response.completion_tokens)
         self._active_clock().advance(response.latency_seconds)
         self._record(
@@ -568,6 +599,43 @@ class LLMService:
                 self._cache_key(prompt, max_tokens, version), response, epoch
             )
         return response.text
+
+    def _complete_via_hub(
+        self, hub: "CoalesceHub", request: LLMRequest, purpose: str
+    ) -> tuple[LLMResponse, str, int]:
+        """One provider call routed through the cross-service hub.
+
+        Claims leadership of the request's hub slot; a hit returns another
+        service's settled answer (recorded by the caller exactly as a
+        provider call — tenant ledgers never betray who actually paid), a
+        wait blocks on the current leader and re-claims, and a lead pays
+        the provider and publishes the result if it is shareable (a clean
+        first-attempt success — precisely what a solo caller would have
+        recorded, which is what keeps tenant reports byte-identical to
+        their direct runs).
+        """
+        while True:
+            status, settled = hub.claim(request)
+            if status == "hit":
+                self._note_hub_share(hub)
+                return settled
+            if status == "wait":
+                settled.wait()
+                continue
+            try:
+                result = self._complete_resilient(request, purpose)
+            except BaseException:
+                hub.publish(request, None)
+                raise
+            _response, outcome, retries = result
+            shareable = outcome == OUTCOME_SERVED and retries == 0
+            hub.publish(request, result if shareable else None)
+            return result
+
+    def _note_hub_share(self, hub: "CoalesceHub") -> None:
+        hub.note_shared()
+        if self.obs is not None:
+            self.obs.metrics.counter("llm.hub_shared").inc()
 
     # -- batched provider path ----------------------------------------------------
 
@@ -610,16 +678,26 @@ class LLMService:
                 LLMRequest(prompt=prompt, max_tokens=max_tokens)
                 for _, prompt in batch
             ]
-            try:
-                self._check_budget()
-                responses = self._batch_resilient(requests)
-            except LLMError:
-                responses = None
-            if responses is not None:
+            hub = self._hub()
+            if hub is None:
+                try:
+                    self._check_budget()
+                    responses = self._batch_resilient(requests)
+                except LLMError:
+                    responses = None
+                results: list[tuple[LLMResponse, str, int] | None] = (
+                    list(responses)
+                    if responses is not None
+                    else [None] * len(batch)
+                )
+            else:
+                results = self._prime_via_hub(hub, requests)
+            if any(result is not None for result in results):
                 clock = self._active_clock()
-                for (key, prompt), (response, outcome, retries) in zip(
-                    batch, responses
-                ):
+                for (key, prompt), result in zip(batch, results):
+                    if result is None:
+                        continue
+                    response, outcome, retries = result
                     cost = estimate_cost(
                         response.prompt_tokens, response.completion_tokens
                     )
@@ -651,6 +729,63 @@ class LLMService:
                 if gate is not None:
                     gate.set()
         return served
+
+    def _prime_via_hub(
+        self, hub: "CoalesceHub", requests: list[LLMRequest]
+    ) -> list[tuple[LLMResponse, str, int] | None]:
+        """Resolve a prime batch through the cross-service hub.
+
+        Each request is claimed individually: settled answers are shared
+        immediately, contested slots wait for their leader and re-claim,
+        and the slots this service wins are paid for with **one** batched
+        provider call whose shareable results (clean first-attempt
+        successes) are published back.  Returns results aligned with
+        ``requests``; a ``None`` entry means the batch path gave up on
+        that prompt and per-item calls should retry it with the full
+        resilience policy.
+
+        One prime call never claims the same hub slot twice (its local
+        batch is key-deduplicated and shares one ``version``/``max_tokens``),
+        so waiting inside the claim loop can only ever block on *another*
+        service's leader — which always publishes, even on failure.
+        """
+        results: list[tuple[LLMResponse, str, int] | None] = [None] * len(requests)
+        leads: list[int] = []
+        pending = list(range(len(requests)))
+        while pending:
+            unresolved: list[int] = []
+            for index in pending:
+                status, settled = hub.claim(requests[index])
+                if status == "hit":
+                    self._note_hub_share(hub)
+                    results[index] = settled
+                elif status == "lead":
+                    leads.append(index)
+                else:
+                    settled.wait()
+                    unresolved.append(index)
+            pending = unresolved
+        if not leads:
+            return results
+        try:
+            self._check_budget()
+            responses = self._batch_resilient([requests[i] for i in leads])
+        except LLMError:
+            responses = None
+        except BaseException:
+            for index in leads:
+                hub.publish(requests[index], None)
+            raise
+        if responses is None:
+            for index in leads:
+                hub.publish(requests[index], None)
+            return results
+        for index, result in zip(leads, responses):
+            results[index] = result
+            _response, outcome, retries = result
+            shareable = outcome == OUTCOME_SERVED and retries == 0
+            hub.publish(requests[index], result if shareable else None)
+        return results
 
     def _batch_resilient(
         self, requests: list[LLMRequest]
@@ -1007,3 +1142,107 @@ class LLMService:
         with self._lock:
             self._cache_epoch += 1
             self.cache.clear()
+
+
+class CoalesceHub:
+    """Cross-service request coalescing for one shared provider.
+
+    The multi-tenant serving layer gives every job its own
+    :class:`LLMService` (own ledger, own virtual clock, own namespaced
+    cache) so tenant runs stay byte-identical to direct runs — but all of
+    those services front the *same* provider object, and tenants routinely
+    ask identical prompts.  The hub deduplicates those at the provider
+    boundary: requests are keyed namespace-free on ``(prompt, max_tokens)``,
+    the first service to claim a slot leads the provider call, and a clean
+    first-attempt success (``OUTCOME_SERVED``, zero retries) is settled
+    into the hub for every later claimant.  Followers record full
+    provider-style ledger entries — same cost, same latency — so per-tenant
+    billing and reports are indistinguishable from having paid themselves;
+    only the provider's call count (and :attr:`shared_calls`) reveals the
+    dedup.
+
+    Results that a solo caller would *not* have recorded — retried
+    successes, fallbacks, failures — are never settled: the slot is
+    released and the next claimant competes to lead.  Services whose
+    ``provider`` is not :attr:`provider` (e.g. a job wrapping the shared
+    provider in a chaos injector) bypass the hub entirely — see
+    :meth:`LLMService._hub`.
+
+    Settled answers are memoized for the hub's lifetime, which makes the
+    dedup schedule-independent: across any interleaving of tenant jobs,
+    the provider pays at most once per distinct shareable request.  The
+    memo is *not* a cache tier — no tenant ledger ever records a hub
+    answer as a cache hit — and :meth:`reset` drops it (the serving layer
+    resets the hub whenever the shared provider's world changes).
+    """
+
+    def __init__(self, provider: LLMProvider):
+        self.provider = provider
+        self._lock = threading.Lock()
+        self._inflight: dict[tuple[str, int], threading.Event] = {}
+        self._settled: dict[tuple[str, int], tuple[LLMResponse, str, int]] = {}
+        #: Calls answered from another service's settled result.
+        self.shared_calls = 0
+        #: Slots this hub's claimants paid the provider for and settled.
+        self.settled_calls = 0
+
+    @staticmethod
+    def _key(request: LLMRequest) -> tuple[str, int]:
+        return (request.prompt, request.max_tokens)
+
+    def claim(self, request: LLMRequest):
+        """Claim the slot for ``request``.
+
+        Returns ``("hit", result)`` when a settled answer exists,
+        ``("wait", event)`` when another claimant is leading (wait on the
+        event, then re-claim), or ``("lead", None)`` when the caller now
+        leads and **must** eventually :meth:`publish` — on every path,
+        including failure — or waiters deadlock.
+        """
+        key = self._key(request)
+        with self._lock:
+            settled = self._settled.get(key)
+            if settled is not None:
+                return ("hit", settled)
+            gate = self._inflight.get(key)
+            if gate is not None:
+                return ("wait", gate)
+            self._inflight[key] = threading.Event()
+            return ("lead", None)
+
+    def publish(
+        self,
+        request: LLMRequest,
+        result: "tuple[LLMResponse, str, int] | None",
+    ) -> None:
+        """Settle (or release) a led slot and wake every waiter.
+
+        ``None`` releases without settling — the result was unshareable or
+        the call failed — and waiters re-compete for leadership.
+        """
+        key = self._key(request)
+        with self._lock:
+            if result is not None and key not in self._settled:
+                self._settled[key] = result
+                self.settled_calls += 1
+            gate = self._inflight.pop(key, None)
+        if gate is not None:
+            gate.set()
+
+    def note_shared(self) -> None:
+        with self._lock:
+            self.shared_calls += 1
+
+    def reset(self) -> None:
+        """Drop settled results (in-flight slots are left to their leaders)."""
+        with self._lock:
+            self._settled.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "settled": len(self._settled),
+                "inflight": len(self._inflight),
+                "shared_calls": self.shared_calls,
+                "settled_calls": self.settled_calls,
+            }

@@ -36,6 +36,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.profile import ProfileRow, RunProfile, profile_records
+from repro.obs.progress import progress_events, progress_json
 from repro.obs.trace import (
     NULL_SPAN,
     SPAN_KINDS,
@@ -65,6 +66,8 @@ __all__ = [
     "RunProfile",
     "ProfileRow",
     "profile_records",
+    "progress_events",
+    "progress_json",
 ]
 
 

@@ -1,0 +1,57 @@
+"""``python -m repro.serve`` — run the curation service.
+
+Binds the asyncio HTTP job API over a fresh (or recovered) job queue.
+The data directory is durable: restarting against the same directory
+recovers the job ledger, requeues interrupted jobs and warm-starts every
+tenant's prompt cache from its journal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.serve.queue import JobQueue
+from repro.serve.server import JobServer
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Multi-tenant Lingua Manga curation service",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument(
+        "--data-dir",
+        default="./serve-data",
+        help="durable root for the job ledger, caches and checkpoints",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="maximum concurrent jobs across all tenants",
+    )
+    args = parser.parse_args(argv)
+
+    queue = JobQueue(args.data_dir, max_workers=args.workers)
+    server = JobServer(queue, host=args.host, port=args.port).start()
+    print(f"serving on {server.address} (data dir: {args.data_dir})")
+    try:
+        import signal
+        import threading
+
+        stop = threading.Event()
+        signal.signal(signal.SIGINT, lambda *_: stop.set())
+        signal.signal(signal.SIGTERM, lambda *_: stop.set())
+        stop.wait()
+    finally:
+        print("shutting down...")
+        server.stop()
+        queue.close(drain=False)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

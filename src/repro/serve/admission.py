@@ -1,0 +1,275 @@
+"""Admission control: per-tenant quotas, token buckets, round-robin dispatch.
+
+The service shares one provider and one worker pool across every tenant,
+so admission is where multi-tenancy becomes *fair* instead of merely
+concurrent:
+
+- a **token bucket** per tenant rate-limits submissions (capacity =
+  burst, refill = sustained rate).  Time comes from an injected clock
+  object (any ``.now`` — a :class:`~repro.resilience.clock.VirtualClock`
+  in every test), never from the wall, so bucket behaviour is exactly
+  reproducible;
+- **quotas** bound how many jobs a tenant may have queued and running at
+  once — a tenant flooding the queue is refused at submission, not
+  starved at dispatch;
+- **round-robin dispatch** over tenants with ready work guarantees no
+  tenant waits forever behind a busier one: each dispatch starts from the
+  cursor *after* the last tenant served.
+
+The hypothesis property suite (``tests/serve/test_admission_properties.py``)
+pins the invariants: counters never go negative, tokens never exceed
+capacity, grant/release sequences commute, and round-robin serves every
+backlogged tenant within one full rotation.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "TokenBucket",
+    "TenantQuota",
+    "QuotaExceeded",
+    "AdmissionController",
+    "DEFAULT_QUOTA",
+]
+
+
+class QuotaExceeded(Exception):
+    """Submission refused: rate limit or queue quota hit.
+
+    ``retryable`` distinguishes a 429 (try again later: rate/queue
+    pressure) from a hard refusal.
+    """
+
+    def __init__(self, reason: str, retryable: bool = True):
+        super().__init__(reason)
+        self.reason = reason
+        self.retryable = retryable
+
+
+class _ZeroClock:
+    now = 0.0
+
+
+class TokenBucket:
+    """A deterministic token bucket on an injected clock.
+
+    ``capacity`` is the burst size, ``refill_rate`` tokens per (virtual)
+    second.  Tokens are lazily refilled on every :meth:`try_acquire` from
+    the elapsed clock delta; they never exceed ``capacity`` and never go
+    negative — both invariants are property-tested.
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_rate: float,
+        clock: Any = None,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if refill_rate < 0:
+            raise ValueError("refill_rate must be non-negative")
+        self.capacity = float(capacity)
+        self.refill_rate = float(refill_rate)
+        self.clock = clock if clock is not None else _ZeroClock()
+        self._tokens = self.capacity
+        self._last = float(self.clock.now)
+        self._lock = threading.Lock()
+
+    def _refill_locked(self) -> None:
+        now = float(self.clock.now)
+        if now > self._last:
+            self._tokens = min(
+                self.capacity, self._tokens + (now - self._last) * self.refill_rate
+            )
+        self._last = max(self._last, now)
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill_locked()
+            return self._tokens
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; never blocks, never goes negative."""
+        if n < 0:
+            raise ValueError("cannot acquire a negative token count")
+        with self._lock:
+            self._refill_locked()
+            if self._tokens + 1e-12 < n:
+                return False
+            self._tokens = max(0.0, self._tokens - n)
+            return True
+
+
+@dataclass
+class TenantQuota:
+    """Static limits for one tenant."""
+
+    max_queued: int = 16
+    max_running: int = 1
+    rate: float = 0.0  # submissions per virtual second; 0 = unlimited
+    burst: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.max_queued < 1:
+            raise ValueError("max_queued must be at least 1")
+        if self.max_running < 1:
+            raise ValueError("max_running must be at least 1")
+
+
+#: The default quota: one running job per tenant.  Serialising each
+#: tenant's jobs is a determinism decision, not just a fairness one — a
+#: tenant's warm run then sees exactly the cache state its previous job
+#: left, byte-identical to running the jobs back-to-back directly.
+DEFAULT_QUOTA = TenantQuota()
+
+
+class AdmissionController:
+    """Tracks per-tenant queue/run counts and arbitrates dispatch order.
+
+    Thread safe.  The dispatch cursor implements round-robin: tenants are
+    visited in sorted-name order starting after the last tenant served.
+    """
+
+    def __init__(self, clock: Any = None, default_quota: TenantQuota | None = None):
+        self.clock = clock if clock is not None else _ZeroClock()
+        self.default_quota = default_quota or DEFAULT_QUOTA
+        self._lock = threading.RLock()
+        self._quotas: dict[str, TenantQuota] = {}
+        self._buckets: dict[str, TokenBucket] = {}
+        self._queued: dict[str, int] = {}
+        self._running: dict[str, int] = {}
+        self._cursor: str | None = None
+        self.refusals = 0
+
+    # -- registration ------------------------------------------------------------
+
+    def register(self, tenant: str, quota: TenantQuota | None = None) -> TenantQuota:
+        """Declare a tenant (idempotent); returns its effective quota."""
+        with self._lock:
+            if quota is not None:
+                self._quotas[tenant] = quota
+                self._buckets.pop(tenant, None)
+            resolved = self._quotas.setdefault(tenant, self.default_quota)
+            if tenant not in self._buckets and resolved.rate > 0:
+                self._buckets[tenant] = TokenBucket(
+                    capacity=resolved.burst,
+                    refill_rate=resolved.rate,
+                    clock=self.clock,
+                )
+            self._queued.setdefault(tenant, 0)
+            self._running.setdefault(tenant, 0)
+            return resolved
+
+    def quota(self, tenant: str) -> TenantQuota:
+        with self._lock:
+            return self._quotas.get(tenant, self.default_quota)
+
+    # -- submission --------------------------------------------------------------
+
+    def admit(self, tenant: str) -> None:
+        """Account one submission; raises :class:`QuotaExceeded` on refusal.
+
+        Checks the rate bucket first (a refused submission consumes no
+        tokens and no quota), then the queued-jobs quota.  On success the
+        tenant's queued count is incremented — callers must pair every
+        admit with exactly one of :meth:`start` or :meth:`forget_queued`.
+        """
+        with self._lock:
+            quota = self.register(tenant)
+            bucket = self._buckets.get(tenant)
+            if bucket is not None and not bucket.try_acquire():
+                self.refusals += 1
+                raise QuotaExceeded(f"tenant {tenant!r} rate limit exceeded")
+            if self._queued[tenant] >= quota.max_queued:
+                self.refusals += 1
+                raise QuotaExceeded(
+                    f"tenant {tenant!r} has {self._queued[tenant]} queued jobs "
+                    f"(max {quota.max_queued})"
+                )
+            self._queued[tenant] += 1
+
+    def restore_queued(self, tenant: str) -> None:
+        """Re-account a queued job on restart (bypasses the rate bucket)."""
+        with self._lock:
+            self.register(tenant)
+            self._queued[tenant] += 1
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def can_start(self, tenant: str) -> bool:
+        with self._lock:
+            return (
+                self._queued.get(tenant, 0) > 0
+                and self._running.get(tenant, 0)
+                < self.quota(tenant).max_running
+            )
+
+    def start(self, tenant: str) -> bool:
+        """Move one job queued -> running if the running quota allows."""
+        with self._lock:
+            if not self.can_start(tenant):
+                return False
+            self._queued[tenant] -= 1
+            self._running[tenant] += 1
+            self._cursor = tenant
+            return True
+
+    def finish(self, tenant: str) -> None:
+        """Account one running job ending (any terminal status)."""
+        with self._lock:
+            if self._running.get(tenant, 0) < 1:
+                raise ValueError(f"tenant {tenant!r} has no running jobs to finish")
+            self._running[tenant] -= 1
+
+    def forget_queued(self, tenant: str) -> None:
+        """Account one queued job leaving the queue without running."""
+        with self._lock:
+            if self._queued.get(tenant, 0) < 1:
+                raise ValueError(f"tenant {tenant!r} has no queued jobs to forget")
+            self._queued[tenant] -= 1
+
+    def next_tenant(self) -> str | None:
+        """The round-robin choice among tenants that could start a job now.
+
+        Tenants are ordered by name; the scan starts just past the tenant
+        served last, so a tenant with a deep backlog cannot shadow the
+        others — every ready tenant is reached within one rotation.
+        """
+        with self._lock:
+            tenants = sorted(self._queued)
+            if not tenants:
+                return None
+            start = 0
+            if self._cursor in tenants:
+                start = tenants.index(self._cursor) + 1
+            for offset in range(len(tenants)):
+                tenant = tenants[(start + offset) % len(tenants)]
+                if self.can_start(tenant):
+                    return tenant
+            return None
+
+    # -- introspection -----------------------------------------------------------
+
+    def queued(self, tenant: str) -> int:
+        with self._lock:
+            return self._queued.get(tenant, 0)
+
+    def running(self, tenant: str) -> int:
+        with self._lock:
+            return self._running.get(tenant, 0)
+
+    def counts(self) -> dict[str, dict[str, int]]:
+        with self._lock:
+            return {
+                tenant: {
+                    "queued": self._queued.get(tenant, 0),
+                    "running": self._running.get(tenant, 0),
+                }
+                for tenant in sorted(self._queued)
+            }

@@ -73,6 +73,7 @@ def run_lingua_manga_er(
     columnar: bool | None = None,
     autotune: bool = False,
     profile_path: str | None = None,
+    cancel: Any = None,
 ) -> ERResult:
     """Instantiate the ER template, run it on the test split, score F1.
 
@@ -98,6 +99,7 @@ def run_lingua_manga_er(
         columnar=columnar,
         autotune=autotune,
         profile_path=profile_path,
+        cancel=cancel,
     )
     after = system.usage()
     verdicts = next(iter(report.outputs.values()))

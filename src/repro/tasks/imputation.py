@@ -74,6 +74,7 @@ def run_llm_imputation(
     columnar: bool | None = None,
     autotune: bool = False,
     profile_path: str | None = None,
+    cancel: Any = None,
 ) -> ImputationResult:
     """Pure LLM-module pipeline: one (validated) prompt per record.
 
@@ -98,6 +99,7 @@ def run_llm_imputation(
         columnar=columnar,
         autotune=autotune,
         profile_path=profile_path,
+        cancel=cancel,
     )
     after = system.usage()
     return _score(
@@ -121,6 +123,7 @@ def run_hybrid_imputation(
     columnar: bool | None = None,
     autotune: bool = False,
     profile_path: str | None = None,
+    cancel: Any = None,
 ) -> ImputationResult:
     """The expert template: LLMGC rules + LLM escalation (Figure 4).
 
@@ -142,6 +145,7 @@ def run_hybrid_imputation(
         columnar=columnar,
         autotune=autotune,
         profile_path=profile_path,
+        cancel=cancel,
     )
     after = system.usage()
     return _score(

@@ -68,6 +68,7 @@ def run_name_extraction(
     columnar: bool | None = None,
     autotune: bool = False,
     profile_path: str | None = None,
+    cancel: Any = None,
 ) -> NameExtractionResult:
     """Run the Figure 3 template over ``documents`` and score it.
 
@@ -88,6 +89,7 @@ def run_name_extraction(
         columnar=columnar,
         autotune=autotune,
         profile_path=profile_path,
+        cancel=cancel,
     )
     after = system.usage()
     enriched = next(iter(report.outputs.values()))

@@ -41,8 +41,11 @@ class BlockingProvider(LLMProvider):
         self.prompts: list[str] = []
 
     def complete(self, request: LLMRequest) -> LLMResponse:
-        if self.release is not None:
-            self.release.wait(timeout=10)
+        if self.release is not None and not self.release.wait(timeout=10):
+            # Fail loud instead of silently proceeding after the deadline:
+            # a gate that never opened is a test bug, and continuing would
+            # let a broken coalescing window pass as a slow success.
+            raise RuntimeError("BlockingProvider release gate never opened")
         with self._lock:
             self.calls_served += 1
             self.prompts.append(request.prompt)

@@ -1,0 +1,234 @@
+"""Property suite for admission control.
+
+Hypothesis drives random interleavings of submissions, grants, releases
+and clock advances against the token bucket, the quota counters and the
+round-robin dispatcher, pinning the invariants the serving layer leans
+on:
+
+- token counts stay within ``[0, capacity]`` under any acquire/advance
+  sequence, and refill is *additive over time*: advancing the clock in
+  two steps grants exactly what one combined step grants;
+- queued/running counters never go negative and always reconcile with
+  the number of outstanding grants (grant/release sequences commute);
+- round-robin dispatch never starves: any tenant with ready work is
+  served within one full rotation, whatever the backlog of the others.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience.clock import VirtualClock
+from repro.serve.admission import (
+    AdmissionController,
+    QuotaExceeded,
+    TenantQuota,
+    TokenBucket,
+)
+
+TENANTS = ("alpha", "bravo", "charlie", "delta")
+
+
+# -- token bucket ---------------------------------------------------------------
+
+
+@given(
+    capacity=st.floats(min_value=0.5, max_value=32.0),
+    rate=st.floats(min_value=0.0, max_value=8.0),
+    steps=st.lists(
+        st.one_of(
+            st.tuples(st.just("advance"), st.floats(min_value=0.0, max_value=10.0)),
+            st.tuples(st.just("acquire"), st.floats(min_value=0.0, max_value=4.0)),
+        ),
+        max_size=50,
+    ),
+)
+@settings(max_examples=120, deadline=None)
+def test_tokens_stay_bounded(capacity, rate, steps):
+    clock = VirtualClock()
+    bucket = TokenBucket(capacity, rate, clock=clock)
+    for action, amount in steps:
+        if action == "advance":
+            clock.advance(amount)
+        else:
+            granted = bucket.try_acquire(amount)
+            if granted and amount > capacity:
+                pytest.fail("granted more than capacity in one acquire")
+        tokens = bucket.tokens
+        assert 0.0 <= tokens <= capacity + 1e-9
+
+
+@given(
+    rate=st.floats(min_value=0.1, max_value=8.0),
+    split=st.floats(min_value=0.0, max_value=1.0),
+    total=st.floats(min_value=0.0, max_value=20.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_refill_is_additive_over_time(rate, split, total):
+    """advance(a); advance(b) refills exactly like advance(a + b)."""
+    one = TokenBucket(100.0, rate, clock=VirtualClock())
+    two = TokenBucket(100.0, rate, clock=VirtualClock())
+    for bucket in (one, two):
+        assert bucket.try_acquire(100.0)  # drain to zero
+    one.clock.advance(total)
+    two.clock.advance(total * split)
+    assert two.tokens <= one.tokens + 1e-9  # monotone in elapsed time
+    two.clock.advance(total * (1.0 - split))
+    assert one.tokens == pytest.approx(two.tokens, abs=1e-6)
+
+
+@given(
+    acquires=st.lists(st.floats(min_value=0.1, max_value=3.0), max_size=30)
+)
+@settings(max_examples=80, deadline=None)
+def test_never_grants_more_than_refilled(acquires):
+    """Total granted tokens never exceed capacity + refilled amount."""
+    clock = VirtualClock()
+    bucket = TokenBucket(4.0, 1.0, clock=clock)
+    granted = 0.0
+    for index, amount in enumerate(acquires):
+        if index % 3 == 0:
+            clock.advance(0.5)
+        if bucket.try_acquire(amount):
+            granted += amount
+    refilled = 0.5 * ((len(acquires) + 2) // 3)
+    assert granted <= 4.0 + refilled + 1e-6
+
+
+# -- quota counters -------------------------------------------------------------
+
+
+@st.composite
+def _admission_ops(draw):
+    """A random, *validity-respecting* op sequence over several tenants."""
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["admit", "start", "finish", "forget"]),
+                st.sampled_from(TENANTS),
+            ),
+            max_size=80,
+        )
+    )
+    return ops
+
+
+@given(ops=_admission_ops())
+@settings(max_examples=120, deadline=None)
+def test_counters_never_negative(ops):
+    controller = AdmissionController(
+        clock=VirtualClock(),
+        default_quota=TenantQuota(max_queued=4, max_running=2),
+    )
+    queued = {tenant: 0 for tenant in TENANTS}
+    running = {tenant: 0 for tenant in TENANTS}
+    for action, tenant in ops:
+        if action == "admit":
+            try:
+                controller.admit(tenant)
+                queued[tenant] += 1
+            except QuotaExceeded:
+                assert queued[tenant] >= 4  # refused exactly at the quota
+        elif action == "start":
+            if controller.start(tenant):
+                queued[tenant] -= 1
+                running[tenant] += 1
+            else:
+                assert queued[tenant] == 0 or running[tenant] >= 2
+        elif action == "finish":
+            if running[tenant] > 0:
+                controller.finish(tenant)
+                running[tenant] -= 1
+            else:
+                with pytest.raises(ValueError):
+                    controller.finish(tenant)
+        elif action == "forget":
+            if queued[tenant] > 0:
+                controller.forget_queued(tenant)
+                queued[tenant] -= 1
+            else:
+                with pytest.raises(ValueError):
+                    controller.forget_queued(tenant)
+        for name in TENANTS:
+            assert controller.queued(name) == queued[name] >= 0
+            assert controller.running(name) == running[name] >= 0
+
+
+@given(
+    grants=st.lists(st.sampled_from(TENANTS), min_size=1, max_size=12),
+    order=st.randoms(use_true_random=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_grant_release_commutes(grants, order):
+    """Releasing outstanding grants in any order reconciles to zero."""
+    controller = AdmissionController(
+        clock=VirtualClock(),
+        default_quota=TenantQuota(max_queued=32, max_running=32),
+    )
+    started = []
+    for tenant in grants:
+        controller.admit(tenant)
+        assert controller.start(tenant)
+        started.append(tenant)
+    order.shuffle(started)
+    for tenant in started:
+        controller.finish(tenant)
+    for tenant in TENANTS:
+        assert controller.queued(tenant) == 0
+        assert controller.running(tenant) == 0
+
+
+# -- round-robin fairness -------------------------------------------------------
+
+
+@given(
+    backlog=st.dictionaries(
+        st.sampled_from(TENANTS),
+        st.integers(min_value=1, max_value=20),
+        min_size=2,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_round_robin_never_starves(backlog):
+    """Every backlogged tenant is served within one full rotation."""
+    controller = AdmissionController(
+        clock=VirtualClock(),
+        default_quota=TenantQuota(max_queued=32, max_running=32),
+    )
+    remaining = dict(backlog)
+    for tenant, count in backlog.items():
+        for _ in range(count):
+            controller.admit(tenant)
+    first_service_round: dict[str, int] = {}
+    rounds = 0
+    while remaining:
+        rounds += 1
+        tenant = controller.next_tenant()
+        assert tenant is not None, "work remains but dispatcher found none"
+        assert controller.start(tenant)
+        controller.finish(tenant)
+        first_service_round.setdefault(tenant, rounds)
+        remaining[tenant] -= 1
+        if remaining[tenant] == 0:
+            del remaining[tenant]
+    # each tenant's first grant happens within the first |tenants| picks
+    for tenant in backlog:
+        assert first_service_round[tenant] <= len(backlog)
+
+
+def test_rate_limited_tenant_is_refused_then_recovers(virtual_clock):
+    controller = AdmissionController(clock=virtual_clock)
+    controller.register(
+        "metered", TenantQuota(max_queued=32, max_running=1, rate=1.0, burst=2.0)
+    )
+    assert controller.queued("metered") == 0
+    controller.admit("metered")
+    controller.admit("metered")  # burst of 2 consumed
+    with pytest.raises(QuotaExceeded):
+        controller.admit("metered")
+    virtual_clock.advance(1.0)  # one token refilled at rate=1/s
+    controller.admit("metered")
+    assert controller.queued("metered") == 3
+    assert controller.refusals == 1

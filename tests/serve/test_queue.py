@@ -1,0 +1,213 @@
+"""Unit tests for the multi-tenant job queue.
+
+End-to-end execution, admission refusal, cancellation (queued and
+running), cross-tenant request coalescing through the shared hub,
+restart recovery, kill-then-resume, and the cross-tenant isolation
+audit's tripwire.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from types import SimpleNamespace
+
+import pytest
+
+from repro.llm.providers import SimulatedProvider
+from repro.serve import JobQueue, JobSpec, QuotaExceeded
+from repro.serve.admission import TenantQuota
+from repro.serve.jobs import JobError
+from tests.serve.conftest import GateProvider, make_spec
+
+
+def test_job_runs_to_success(queue, serve_dir):
+    job = queue.submit(make_spec("imputation", workers=2))
+    done = queue.store.wait_for(job.job_id)
+    assert done.status == "succeeded"
+    assert done.attempts == 1 and done.resumed is False
+    assert done.result["task"] == "imputation"
+    assert done.result["llm_calls"] > 0
+    assert done.result["accuracy"] > 0
+    assert "report_digest" in done.result
+    assert (serve_dir / "jobs" / job.job_id / "report.json").exists()
+    events = [event["event"] for event in done.progress]
+    assert events[0] == "run:start" and events[-1] == "run:end"
+    assert "phase" in events
+
+
+def test_invalid_specs_are_refused_without_a_ledger_trace(queue, serve_dir):
+    for spec in (
+        make_spec("imputation", tenant="Bad Tenant!"),
+        JobSpec(tenant="acme", task="alchemy"),
+        JobSpec(tenant="acme", task="dsl", program="   "),
+        JobSpec(tenant="acme", task="er", dataset={"name": "no-such-set"}),
+    ):
+        with pytest.raises(JobError):
+            queue.submit(spec)
+    assert queue.store.jobs() == []
+
+
+def test_queue_quota_refuses_floods(serve_dir, virtual_clock):
+    queue = JobQueue(
+        serve_dir,
+        max_workers=1,
+        clock=virtual_clock,
+        default_quota=TenantQuota(max_queued=2, max_running=1),
+        start=False,  # keep everything queued so the quota is what refuses
+    )
+    queue.submit(make_spec("imputation"))
+    queue.submit(make_spec("imputation"))
+    with pytest.raises(QuotaExceeded) as refusal:
+        queue.submit(make_spec("imputation"))
+    assert refusal.value.retryable
+    # another tenant is unaffected by acme's full queue
+    queue.submit(make_spec("imputation", tenant="globex"))
+    assert queue.admission.refusals == 1
+    queue.close(drain=False)
+
+
+def test_cancel_queued_job_never_runs(serve_dir, virtual_clock):
+    queue = JobQueue(serve_dir, max_workers=1, clock=virtual_clock, start=False)
+    job = queue.submit(make_spec("imputation"))
+    cancelled = queue.cancel(job.job_id)
+    assert cancelled.status == "cancelled"
+    assert cancelled.error == "cancelled before start"
+    queue.resume_pending()
+    queue.close()  # drains: nothing may still be pending
+    assert queue.store.get(job.job_id).status == "cancelled"
+    assert not (serve_dir / "jobs" / job.job_id).exists()
+
+
+def test_cancel_running_job_interrupts_at_chunk_boundary(serve_dir, virtual_clock):
+    provider = GateProvider(SimulatedProvider(), gate_after=2)
+    queue = JobQueue(serve_dir, provider=provider, max_workers=1, clock=virtual_clock)
+    job = queue.submit(make_spec("imputation"))
+    assert provider.gated.wait(timeout=30)
+    result = queue.cancel(job.job_id)
+    assert result.status == "running"  # cancellation is cooperative
+    provider.release.set()
+    done = queue.store.wait_for(job.job_id)
+    assert done.status == "cancelled"
+    assert done.error == "cancelled"
+    # the checkpoint journal survives: the work is resumable, not lost
+    assert (serve_dir / "jobs" / job.job_id / "checkpoint.jsonl").exists()
+
+
+def test_cancel_unknown_and_terminal_jobs_is_safe(queue):
+    assert queue.cancel("job-9999") is None
+    job = queue.submit(make_spec("imputation"))
+    queue.store.wait_for(job.job_id)
+    assert queue.cancel(job.job_id).status == "succeeded"
+
+
+def test_hub_shares_identical_prompts_across_tenants(queue):
+    first = queue.submit(make_spec("imputation", tenant="acme"))
+    queue.store.wait_for(first.job_id)
+    second = queue.submit(make_spec("imputation", tenant="globex"))
+    done = queue.store.wait_for(second.job_id)
+    assert done.status == "succeeded"
+    hub = queue.registry.hub.stats()
+    # globex's identical prompts were answered from the hub's settled
+    # results — shared across tenants without touching acme's cache...
+    assert hub["shared_calls"] > 0
+    # ...and both tenants' reports are byte-identical cold runs.
+    first_report = queue.store.get(first.job_id).result["report_digest"]
+    assert done.result["report_digest"] == first_report
+    # sharing is not a cache hit: the audit saw no cross-tenant hits.
+    assert queue.audit_violations == []
+
+
+def test_tenant_caches_stay_isolated_on_disk(queue, serve_dir):
+    queue.submit(make_spec("imputation", tenant="acme"))
+    job = queue.submit(make_spec("imputation", tenant="globex"))
+    queue.store.wait_for(job.job_id)
+    queue.drain()
+    acme = (serve_dir / "tenants" / "acme" / "cache.jsonl").read_text()
+    globex = (serve_dir / "tenants" / "globex" / "cache.jsonl").read_text()
+    assert '"namespace": "acme"' in acme and '"namespace": "globex"' in globex
+    assert '"namespace": "globex"' not in acme
+    assert '"namespace": "acme"' not in globex
+
+
+def test_audit_tripwire_flags_alien_cache_hits(queue):
+    """The audit must trip on a cross-tenant hit if isolation ever regresses."""
+    paid = SimpleNamespace(
+        prompt="p", max_tokens=64, version="v1", provenance="provider"
+    )
+    stolen = SimpleNamespace(
+        prompt="p", max_tokens=64, version="v1", provenance="cache-exact"
+    )
+    queue.audit.fold("acme", "job-1000", [paid])
+    queue.audit.fold("acme", "job-1001", [stolen])  # own hit: fine
+    assert queue.audit_violations == []
+    queue.audit.fold("globex", "job-1002", [stolen])  # alien hit: violation
+    violations = queue.audit_violations
+    assert len(violations) == 1
+    assert violations[0]["tenant"] == "globex"
+    assert violations[0]["owners"] == ["acme"]
+
+
+def test_restart_recovers_queued_jobs(serve_dir, virtual_clock):
+    queue = JobQueue(serve_dir, max_workers=1, clock=virtual_clock, start=False)
+    job = queue.submit(make_spec("imputation"))
+    queue.close(drain=False)  # graceful stop before the job ever started
+
+    revived = JobQueue(serve_dir, max_workers=1, clock=virtual_clock)
+    done = revived.store.wait_for(job.job_id)
+    assert done.status == "succeeded"
+    assert done.attempts == 1 and done.resumed is False
+    revived.close()
+
+
+def test_kill_midrun_then_resume(serve_dir, virtual_clock):
+    provider = GateProvider(SimulatedProvider(), gate_after=3)
+    queue = JobQueue(serve_dir, provider=provider, max_workers=1, clock=virtual_clock)
+    job = queue.submit(make_spec("imputation", workers=2))
+    assert provider.gated.wait(timeout=30)
+
+    killer = threading.Thread(target=queue.kill)
+    killer.start()
+    # kill() marks the queue dead and cancels tokens *before* joining;
+    # waiting on its barrier makes releasing the gate race-free.
+    assert queue.kill_cancelled.wait(timeout=30)
+    provider.release.set()
+    killer.join(timeout=60)
+    assert not killer.is_alive()
+    # death wrote nothing: the ledger still says "running" on disk
+    statuses = [
+        json.loads(line).get("status")
+        for line in (serve_dir / "jobs.jsonl").read_text().splitlines()
+    ]
+    assert statuses == [None, "running"]  # submit record, then running
+
+    revived = JobQueue(serve_dir, max_workers=1, clock=virtual_clock)
+    done = revived.store.wait_for(job.job_id)
+    assert done.status == "succeeded"
+    assert done.resumed is True and done.attempts == 2
+    assert revived.audit_violations == []
+    revived.close()
+
+
+def test_submit_after_shutdown_is_refused(serve_dir, virtual_clock):
+    queue = JobQueue(serve_dir, max_workers=1, clock=virtual_clock)
+    queue.close()
+    with pytest.raises(QuotaExceeded) as refusal:
+        queue.submit(make_spec("imputation"))
+    assert not refusal.value.retryable
+
+
+def test_stats_shape(queue):
+    job = queue.submit(make_spec("imputation"))
+    queue.store.wait_for(job.job_id)
+    stats = queue.stats()
+    assert stats["jobs"] == {"succeeded": 1}
+    assert stats["tenants"]["acme"] == {"queued": 0, "running": 0}
+    assert set(stats["hub"]) == {
+        "settled",
+        "inflight",
+        "shared_calls",
+        "settled_calls",
+    }
+    assert stats["audit_violations"] == 0
+    assert stats["refusals"] == 0

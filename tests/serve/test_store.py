@@ -1,0 +1,153 @@
+"""Unit tests for the crash-safe job store (write-ahead JSONL ledger)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.jobs import JobSpec
+from repro.serve.store import JobStore
+from tests.serve.conftest import make_spec
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    return tmp_path / "jobs.jsonl"
+
+
+def test_submit_assigns_sequential_ids(ledger):
+    store = JobStore(ledger)
+    ids = [store.submit(make_spec("imputation")).job_id for _ in range(3)]
+    assert ids == ["job-0001", "job-0002", "job-0003"]
+    assert [store.get(i).status for i in ids] == ["queued"] * 3
+    store.close()
+
+
+def test_ledger_survives_reload(ledger):
+    store = JobStore(ledger)
+    job = store.submit(make_spec("er", tenant="acme"))
+    store.transition(job.job_id, "running", attempts=1)
+    store.transition(
+        job.job_id,
+        "succeeded",
+        result={"task": "er", "f1": 1.0},
+        progress=[{"event": "run:end", "seq": 1}],
+    )
+    other = store.submit(make_spec("names", tenant="globex"))
+    store.close()
+
+    reloaded = JobStore(ledger)
+    done = reloaded.get(job.job_id)
+    assert done.status == "succeeded"
+    assert done.result == {"task": "er", "f1": 1.0}
+    assert done.progress == [{"event": "run:end", "seq": 1}]
+    assert done.attempts == 1
+    assert reloaded.get(other.job_id).status == "queued"
+    # id allocation continues after the highest replayed id
+    assert reloaded.submit(make_spec("imputation")).job_id == "job-0003"
+    reloaded.close()
+
+
+def test_running_job_is_resumable_after_reload(ledger):
+    store = JobStore(ledger)
+    job = store.submit(make_spec("imputation"))
+    store.transition(job.job_id, "running", attempts=1)
+    store.kill()  # server death: the ledger still says "running"
+
+    reloaded = JobStore(ledger)
+    revived = reloaded.get(job.job_id)
+    assert revived.status == "resumable"
+    assert revived.attempts == 1
+    reloaded.close()
+
+
+def test_kill_writes_nothing(ledger):
+    store = JobStore(ledger)
+    job = store.submit(make_spec("imputation"))
+    before = ledger.read_bytes()
+    store.kill()
+    # Appends after the kill are suppressed rather than erroring: worker
+    # threads may still be unwinding when the store is already dead.
+    store.transition(job.job_id, "succeeded", result={"task": "imputation"})
+    assert ledger.read_bytes() == before
+    assert JobStore(ledger).get(job.job_id).status == "queued"
+
+
+def test_torn_tail_is_truncated_not_fatal(ledger):
+    store = JobStore(ledger)
+    job = store.submit(make_spec("er"))
+    store.transition(job.job_id, "running", attempts=1)
+    store.close()
+    with ledger.open("ab") as handle:
+        handle.write(b'{"kind":"status","job":"job-0001","sta')  # torn write
+
+    reloaded = JobStore(ledger)
+    assert reloaded.get(job.job_id).status == "resumable"
+    # the torn line is gone from disk, and the ledger is appendable again
+    reloaded.transition(job.job_id, "failed", error="gave up")
+    reloaded.close()
+    lines = ledger.read_text().splitlines()
+    assert all(json.loads(line) for line in lines)
+    assert JobStore(ledger).get(job.job_id).status == "failed"
+
+
+def test_ledger_carries_no_wall_clock_fields(ledger):
+    store = JobStore(ledger)
+    job = store.submit(make_spec("names"))
+    store.transition(job.job_id, "succeeded", result={"task": "names"})
+    store.close()
+    for line in ledger.read_text().splitlines():
+        record = json.loads(line)
+        assert not any("time" in key or "stamp" in key for key in record)
+        assert isinstance(record["seq"], int)
+
+
+def test_transition_rejects_unknown_status(ledger):
+    store = JobStore(ledger)
+    job = store.submit(make_spec("imputation"))
+    with pytest.raises(ValueError):
+        store.transition(job.job_id, "exploded")
+    store.close()
+
+
+def test_jobs_filter_by_tenant(ledger):
+    store = JobStore(ledger)
+    store.submit(make_spec("er", tenant="acme"))
+    store.submit(make_spec("names", tenant="globex"))
+    store.submit(make_spec("imputation", tenant="acme"))
+    assert [j.spec.task for j in store.jobs(tenant="acme")] == ["er", "imputation"]
+    assert [j.spec.task for j in store.jobs()] == ["er", "names", "imputation"]
+    store.close()
+
+
+def test_wait_for_is_bounded_and_fail_loud(ledger):
+    store = JobStore(ledger)
+    job = store.submit(make_spec("imputation"))
+    with pytest.raises(TimeoutError, match="currently 'queued'"):
+        store.wait_for(job.job_id, timeout=0.05)
+    with pytest.raises(TimeoutError, match="<missing>"):
+        store.wait_for("job-9999", timeout=0.05)
+    store.transition(job.job_id, "succeeded", result={"task": "imputation"})
+    assert store.wait_for(job.job_id, timeout=0.05).status == "succeeded"
+    store.close()
+
+
+def test_to_dict_round_trips_spec(ledger):
+    spec = JobSpec(
+        tenant="acme",
+        task="dsl",
+        dataset={"inputs": {"text": "hello"}},
+        options={"workers": 2},
+        program="x = extract(text)",
+    )
+    store = JobStore(ledger)
+    job = store.submit(spec)
+    store.close()
+    reloaded = JobStore(ledger).get(job.job_id)
+    assert reloaded.spec == spec
+    payload = reloaded.to_dict()
+    assert payload["job_id"] == job.job_id
+    assert payload["tenant"] == "acme"
+    assert payload["status"] == "queued"
+    assert "result" not in payload
