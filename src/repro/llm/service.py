@@ -736,24 +736,22 @@ class LLMService:
         """Resolve a prime batch through the cross-service hub.
 
         Each request is claimed individually: settled answers are shared
-        immediately, contested slots wait for their leader and re-claim,
-        and the slots this service wins are paid for with **one** batched
-        provider call whose shareable results (clean first-attempt
-        successes) are published back.  Returns results aligned with
-        ``requests``; a ``None`` entry means the batch path gave up on
-        that prompt and per-item calls should retry it with the full
-        resilience policy.
-
-        One prime call never claims the same hub slot twice (its local
-        batch is key-deduplicated and shares one ``version``/``max_tokens``),
-        so waiting inside the claim loop can only ever block on *another*
-        service's leader — which always publishes, even on failure.
+        immediately, and the slots this service wins are paid for with
+        **one** batched provider call whose shareable results (clean
+        first-attempt successes) are published back.  Contested slots are
+        waited on only *after* every led slot has been published — a
+        leader never blocks while still holding unpublished slots, so two
+        services whose prime batches overlap in different prompt orders
+        cannot deadlock on each other (no hold-and-wait).  Returns
+        results aligned with ``requests``; a ``None`` entry means the
+        batch path gave up on that prompt and per-item calls should retry
+        it with the full resilience policy.
         """
         results: list[tuple[LLMResponse, str, int] | None] = [None] * len(requests)
-        leads: list[int] = []
         pending = list(range(len(requests)))
         while pending:
-            unresolved: list[int] = []
+            leads: list[int] = []
+            contested: list[tuple[int, threading.Event]] = []
             for index in pending:
                 status, settled = hub.claim(requests[index])
                 if status == "hit":
@@ -762,29 +760,36 @@ class LLMService:
                 elif status == "lead":
                     leads.append(index)
                 else:
-                    settled.wait()
-                    unresolved.append(index)
-            pending = unresolved
-        if not leads:
-            return results
-        try:
-            self._check_budget()
-            responses = self._batch_resilient([requests[i] for i in leads])
-        except LLMError:
-            responses = None
-        except BaseException:
-            for index in leads:
-                hub.publish(requests[index], None)
-            raise
-        if responses is None:
-            for index in leads:
-                hub.publish(requests[index], None)
-            return results
-        for index, result in zip(leads, responses):
-            results[index] = result
-            _response, outcome, retries = result
-            shareable = outcome == OUTCOME_SERVED and retries == 0
-            hub.publish(requests[index], result if shareable else None)
+                    contested.append((index, settled))
+            if leads:
+                try:
+                    self._check_budget()
+                    responses = self._batch_resilient(
+                        [requests[i] for i in leads]
+                    )
+                except LLMError:
+                    responses = None
+                except BaseException:
+                    for index in leads:
+                        hub.publish(requests[index], None)
+                    raise
+                if responses is None:
+                    # Batch path exhausted: release the led slots so
+                    # waiters re-compete; these entries stay ``None`` and
+                    # per-item calls retry them with full resilience.
+                    for index in leads:
+                        hub.publish(requests[index], None)
+                else:
+                    for index, result in zip(leads, responses):
+                        results[index] = result
+                        _response, outcome, retries = result
+                        shareable = outcome == OUTCOME_SERVED and retries == 0
+                        hub.publish(
+                            requests[index], result if shareable else None
+                        )
+            for _index, gate in contested:
+                gate.wait()
+            pending = [index for index, _gate in contested]
         return results
 
     def _batch_resilient(

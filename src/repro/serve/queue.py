@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import threading
 import time
 from collections import deque
@@ -272,7 +273,12 @@ class JobQueue:
                     daemon=True,
                 )
                 self._active[job_id] = thread
-            thread.start()
+                # Start while still holding the lock: kill() snapshots
+                # _active under this lock and joins every entry, so a
+                # registered-but-unstarted thread would make join() raise
+                # (and could run after the store closes).  start() returns
+                # immediately, so holding the lock across it is safe.
+                thread.start()
 
     # -- execution ---------------------------------------------------------------
 
@@ -303,25 +309,38 @@ class JobQueue:
         snapshot_path = job_dir / "cache_state.json"
         if job.attempts == 0:
             exact, sealed = tenant_state.cache.state_digests()
-            snapshot_path.write_text(
+            tmp_path = snapshot_path.with_name(snapshot_path.name + ".tmp")
+            tmp_path.write_text(
                 json.dumps({"exact": exact, "sealed": sealed}), encoding="utf-8"
             )
+            os.replace(tmp_path, snapshot_path)
         elif snapshot_path.exists():
-            state = json.loads(snapshot_path.read_text(encoding="utf-8"))
-            tenant_state.cache.restore_state(state["exact"], state["sealed"])
+            try:
+                state = json.loads(snapshot_path.read_text(encoding="utf-8"))
+                exact, sealed = state["exact"], state["sealed"]
+            except (ValueError, KeyError, TypeError, OSError):
+                # A torn or unreadable snapshot is treated as absent: the
+                # resume still runs, it just skips the cache rewind.
+                return
+            tenant_state.cache.restore_state(exact, sealed)
 
     def _run_job(self, job: JobRecord, token: CancelToken) -> None:
         spec = job.spec
         tenant = spec.tenant
-        job_dir = self._job_dir(job.job_id)
-        job_dir.mkdir(parents=True, exist_ok=True)
-        checkpoint_path = job_dir / "checkpoint.jsonl"
-        resumed = checkpoint_path.exists()
         obs = Observability()
         service = None
-        self.registry.job_started(tenant)
-        self._restore_cache_state(job, tenant, job_dir)
+        started = False
+        # Everything after this line — including setup — runs under the
+        # try, so any failure still reaches a terminal status and the
+        # finally block releases the admission slot and pool entry.
         try:
+            self.registry.job_started(tenant)
+            started = True
+            job_dir = self._job_dir(job.job_id)
+            job_dir.mkdir(parents=True, exist_ok=True)
+            checkpoint_path = job_dir / "checkpoint.jsonl"
+            resumed = checkpoint_path.exists()
+            self._restore_cache_state(job, tenant, job_dir)
             self.store.transition(
                 job.job_id,
                 "running",
@@ -363,6 +382,12 @@ class JobQueue:
                 )
         except Exception as error:  # noqa: BLE001 - job boundary
             if not self._killed:
+                if service is not None:
+                    # Entries a failed attempt wrote to the tenant cache
+                    # are real: register them as self-paid so a sibling
+                    # job's later exact hits on them don't read as
+                    # cross-tenant violations.
+                    self.audit.fold(tenant, job.job_id, list(service.records))
                 self.store.transition(
                     job.job_id,
                     "failed",
@@ -385,7 +410,8 @@ class JobQueue:
                     progress=progress_events(obs.tracer.roots),
                 )
         finally:
-            self.registry.job_finished(tenant)
+            if started:
+                self.registry.job_finished(tenant)
             with self._lock:
                 self._tokens.pop(job.job_id, None)
                 self._active.pop(job.job_id, None)

@@ -15,8 +15,9 @@ Routes::
     GET  /jobs/<id>          status + result + tracer-derived progress events
     POST /jobs/<id>/cancel   cancel queued or running
 
-Status codes: 202 accepted, 200 ok, 400 malformed, 404 unknown job,
-429 quota/rate refused, 503 shutting down.
+Status codes: 202 accepted, 200 ok, 400 malformed request or headers,
+404 unknown job, 413 oversized body, 429 quota/rate refused,
+503 shutting down.
 
 :class:`JobServer` runs the loop in a daemon thread so tests (and
 ``python -m repro.serve``) can drive it over real sockets with the
@@ -34,11 +35,20 @@ from urllib.parse import parse_qs, urlsplit
 from repro.serve.jobs import JobError, JobSpec, canonical_json
 from repro.serve.queue import JobQueue, QuotaExceeded
 
-__all__ = ["JobServer", "MAX_BODY_BYTES"]
+__all__ = ["JobServer", "MAX_BODY_BYTES", "MAX_HEADER_BYTES"]
 
 #: Submission bodies larger than this are refused (dataset refs are tiny;
 #: a huge body is a client error, not a job).
 MAX_BODY_BYTES = 1_000_000
+
+#: Combined request-line + header bytes beyond this are refused with 400,
+#: so a client streaming headers forever cannot tie up the event loop.
+MAX_HEADER_BYTES = 32_768
+
+# Sentinel "bodies" _read_request hands to _route in place of a real one;
+# real bodies are JSON and can never start with a NUL byte.
+_BAD_HEADERS = b"\x00malformed"
+_BODY_TOO_LARGE = b"\x00oversized"
 
 _REASONS = {
     200: "OK",
@@ -93,18 +103,24 @@ class JobServer:
         except ValueError:
             return ("", "", b"")
         content_length = 0
+        header_bytes = len(request_line)
         while True:
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
+            header_bytes += len(line)
+            if header_bytes > MAX_HEADER_BYTES:
+                return (method.upper(), target, _BAD_HEADERS)
             name, _, value = line.decode("latin-1").partition(":")
             if name.strip().lower() == "content-length":
                 try:
                     content_length = int(value.strip())
                 except ValueError:
-                    content_length = -1
-        if content_length < 0 or content_length > MAX_BODY_BYTES:
-            return (method, target, b"\x00oversized")
+                    return (method.upper(), target, _BAD_HEADERS)
+                if content_length < 0:
+                    return (method.upper(), target, _BAD_HEADERS)
+        if content_length > MAX_BODY_BYTES:
+            return (method.upper(), target, _BODY_TOO_LARGE)
         body = (
             await reader.readexactly(content_length) if content_length else b""
         )
@@ -113,6 +129,8 @@ class JobServer:
     def _route(self, method: str, target: str, body: bytes) -> tuple[int, Any]:
         parts = urlsplit(target)
         path = parts.path.rstrip("/") or "/"
+        if body == _BAD_HEADERS:
+            return 400, {"error": "malformed or oversized request headers"}
         if body.startswith(b"\x00"):
             return 413, {"error": "request body too large"}
         if path == "/healthz" and method == "GET":

@@ -250,3 +250,70 @@ class TestScopedIsolation:
         before = service.clock.now
         service.merge_scope(scope)
         assert service.clock.now == pytest.approx(before + scope.elapsed)
+
+
+class TestHubPrimeNoHoldAndWait:
+    """Regression: ``_prime_via_hub`` must publish led slots before waiting.
+
+    Two services whose prime batches overlapped in different prompt orders
+    used to deadlock permanently: each led one hub slot and blocked inline
+    on the other's, so neither ever published.  The fix pays for and
+    publishes every led slot *before* waiting on contested ones; this test
+    pins that ordering deterministically by acting as the foreign leader
+    of the contested slot itself.
+    """
+
+    class _SignalProvider(BlockingProvider):
+        """BlockingProvider that also signals when its first call arrives."""
+
+        def __init__(self):
+            super().__init__()
+            self.first_call = threading.Event()
+
+        def complete(self, request: LLMRequest) -> LLMResponse:
+            self.first_call.set()
+            return super().complete(request)
+
+    def test_led_slot_settles_while_contested_slot_still_held(self):
+        from repro.llm.service import CoalesceHub
+
+        provider = self._SignalProvider()
+        hub = CoalesceHub(provider)
+        service = LLMService(provider, coalesce_hub=hub)
+
+        # The test leads slot Y, standing in for another service that is
+        # still mid-provider-call when our prime arrives.
+        contested = LLMRequest(prompt="Y", max_tokens=256)
+        status, _ = hub.claim(contested)
+        assert status == "lead"
+
+        done = threading.Event()
+
+        def run_prime():
+            service.prime(["X", "Y"])
+            done.set()
+
+        thread = threading.Thread(target=run_prime, daemon=True)
+        thread.start()
+
+        # The prime reaching the provider proves it got *past* the claim
+        # loop with Y still contested (pre-fix it parked on Y's gate there
+        # and X never reached the provider at all).
+        assert provider.first_call.wait(timeout=30)
+
+        # X must then be published — settled into the hub — while Y is
+        # still held by the foreign leader.
+        led = LLMRequest(prompt="X", max_tokens=256)
+        status, settled = hub.claim(led)
+        if status == "wait":
+            assert settled.wait(timeout=30)
+            status, settled = hub.claim(led)
+        assert status == "hit"
+        assert settled[0].text == "answer:X"
+        assert not done.is_set()  # prime is (correctly) parked on Y now
+
+        # Release Y unsettled: the prime re-claims, leads and pays for it.
+        hub.publish(contested, None)
+        assert done.wait(timeout=30)
+        thread.join(timeout=30)
+        assert sorted(provider.prompts) == ["X", "Y"]

@@ -160,3 +160,57 @@ def test_shutdown_maps_to_503(serve_dir, virtual_clock):
         queue.close()
         status, refused = client.submit(make_spec("imputation"))
         assert status == 503 and "shut down" in refused["error"]
+
+
+def _raw_request(server, payload: bytes) -> bytes:
+    """One raw HTTP exchange; tolerates the server answering mid-send."""
+    import socket
+
+    with socket.create_connection((server.host, server.port), timeout=30) as sock:
+        try:
+            sock.sendall(payload)
+        except OSError:
+            pass  # server already responded and closed its read side
+        chunks = []
+        try:
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        except OSError:
+            pass
+        return b"".join(chunks)
+
+
+def test_malformed_content_length_maps_to_400(server):
+    response = _raw_request(
+        server, b"POST /jobs HTTP/1.1\r\nContent-Length: banana\r\n\r\n"
+    )
+    assert response.startswith(b"HTTP/1.1 400 ")
+
+
+def test_negative_content_length_maps_to_400(server):
+    response = _raw_request(
+        server, b"POST /jobs HTTP/1.1\r\nContent-Length: -5\r\n\r\n"
+    )
+    assert response.startswith(b"HTTP/1.1 400 ")
+
+
+def test_oversized_body_maps_to_413(server):
+    from repro.serve.server import MAX_BODY_BYTES
+
+    head = f"POST /jobs HTTP/1.1\r\nContent-Length: {MAX_BODY_BYTES + 1}\r\n\r\n"
+    response = _raw_request(server, head.encode("ascii"))
+    assert response.startswith(b"HTTP/1.1 413 ")
+
+
+def test_unbounded_header_stream_maps_to_400(server):
+    """A client streaming headers forever must be cut off, not looped on."""
+    from repro.serve.server import MAX_HEADER_BYTES
+
+    filler = b"X-Filler: " + b"a" * 1013 + b"\r\n"  # 1 KiB per line
+    lines = MAX_HEADER_BYTES // len(filler) + 2
+    payload = b"GET /healthz HTTP/1.1\r\n" + filler * lines  # no terminator
+    response = _raw_request(server, payload)
+    assert response.startswith(b"HTTP/1.1 400 ")

@@ -211,3 +211,86 @@ def test_stats_shape(queue):
     }
     assert stats["audit_violations"] == 0
     assert stats["refusals"] == 0
+
+
+def test_first_attempt_snapshot_is_atomic_and_parseable(queue, serve_dir):
+    job = queue.submit(make_spec("imputation"))
+    queue.store.wait_for(job.job_id)
+    job_dir = serve_dir / "jobs" / job.job_id
+    snapshot = json.loads((job_dir / "cache_state.json").read_text())
+    assert set(snapshot) == {"exact", "sealed"}
+    # the write goes through a tmp file + rename; no tmp file survives
+    assert not (job_dir / "cache_state.json.tmp").exists()
+
+
+def test_torn_cache_snapshot_is_treated_as_absent(queue, serve_dir):
+    """A snapshot torn by a mid-write process kill must not crash resume.
+
+    Pre-fix, ``json.loads`` of the torn file raised *outside* the worker's
+    try/finally, leaking the admission slot and leaving the job
+    non-terminal forever.  Now the snapshot is written atomically, and a
+    corrupt leftover from an older incarnation reads as "no snapshot".
+    """
+    job = queue.submit(make_spec("imputation"))
+    queue.store.wait_for(job.job_id)
+    job_dir = serve_dir / "jobs" / job.job_id
+    (job_dir / "cache_state.json").write_text('{"exact": ["tor', encoding="utf-8")
+    record = queue.store.get(job.job_id)
+    assert record.attempts == 1  # > 0: the restore (not snapshot) path
+    queue.registry.job_started("acme")
+    try:
+        queue._restore_cache_state(record, "acme", job_dir)  # must not raise
+    finally:
+        queue.registry.job_finished("acme")
+
+
+def test_failed_job_cache_entries_count_as_self_paid(serve_dir, virtual_clock):
+    """Entries a *failed* attempt cached must be folded into the audit.
+
+    Pre-fix only succeeded/cancelled jobs folded their ledgers, so a
+    sibling job (seeded at submit time, before the entries existed) that
+    later hit those entries tripped a false cross-tenant violation.
+    """
+    from repro.llm.errors import ProviderError
+    from repro.llm.providers import LLMProvider
+
+    class DieAfter(LLMProvider):
+        """Delegates ``allow`` calls to the shared provider, then dies."""
+
+        def __init__(self, inner, allow: int):
+            self.inner = inner
+            self.allow = allow
+            self.calls = 0
+            self._lock = threading.Lock()
+
+        def cache_identity(self) -> str:
+            return self.inner.cache_identity()
+
+        def complete(self, request):
+            with self._lock:
+                self.calls += 1
+                dead = self.calls > self.allow
+            if dead:
+                raise ProviderError("provider died mid-job")
+            return self.inner.complete(request)
+
+    shared = SimulatedProvider()
+    queue = JobQueue(
+        serve_dir,
+        provider=shared,
+        max_workers=1,
+        clock=virtual_clock,
+        provider_factory=lambda spec: (
+            DieAfter(shared, 2) if spec.options.get("die") else None
+        ),
+        start=False,  # both jobs submit (and seed) before either runs
+    )
+    doomed = queue.submit(make_spec("imputation", die=True))
+    sibling = queue.submit(make_spec("imputation"))
+    queue.resume_pending()
+    assert queue.store.wait_for(doomed.job_id).status == "failed"
+    assert queue.store.wait_for(sibling.job_id).status == "succeeded"
+    # the sibling's exact hits on the failed attempt's entries are its
+    # own tenant's — the audit must stay clean.
+    assert queue.audit_violations == []
+    queue.close()
