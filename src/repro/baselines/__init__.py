@@ -1,5 +1,14 @@
 """Baselines the paper compares against (see DESIGN.md substitution table)."""
 
+from repro.baselines.curation import (
+    CurationBaselineResult,
+    evaluate_hard_scan_decontamination,
+    evaluate_rules_quality,
+    evaluate_threshold_dedup,
+    hard_scan_contamination_flags,
+    rules_quality_flags,
+    threshold_dedup_flags,
+)
 from repro.baselines.ditto import DittoMatcher, evaluate_ditto
 from repro.baselines.fms import (
     evaluate_fms_imputation,
@@ -12,6 +21,13 @@ from repro.baselines.imp import IMPImputer, evaluate_imp
 from repro.baselines.magellan import MagellanMatcher, evaluate_magellan
 
 __all__ = [
+    "CurationBaselineResult",
+    "evaluate_hard_scan_decontamination",
+    "evaluate_rules_quality",
+    "evaluate_threshold_dedup",
+    "hard_scan_contamination_flags",
+    "rules_quality_flags",
+    "threshold_dedup_flags",
     "DittoMatcher",
     "evaluate_ditto",
     "evaluate_fms_imputation",

@@ -23,6 +23,10 @@ from repro.core.compiler.registry import (
     strategies_for,
 )
 
+# Registers the curation operator strategies (dedup_candidates,
+# quality_filter, decontaminate) as an import side effect.
+from repro.core.compiler import curation as _curation  # noqa: E402,F401
+
 __all__ = [
     "CompileError",
     "LinguaMangaCompiler",

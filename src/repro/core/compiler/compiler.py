@@ -25,6 +25,7 @@ from repro.core.compiler.rewriter import RewriteReport, rewrite_pipeline
 from repro.core.dsl.operators import LogicalOperator
 from repro.core.dsl.pipeline import Pipeline
 from repro.core.modules.base import Module
+from repro.core.modules.cascade import CascadeModule
 from repro.core.modules.llmgc import LLMGCModule
 from repro.core.modules.mapping import EnrichModule, MapModule
 from repro.core.optimizer.distill import DistillationRouter
@@ -158,10 +159,19 @@ class LinguaMangaCompiler:
             holder["tagger"] = wrap(holder["tagger"])
             return module
         if isinstance(module, MapModule):
-            module.inner = wrap(module.inner)
+            # A classifier cascade distills its *teacher* rung: the router
+            # sits between the cheap rules and the LLM, so high-confidence
+            # escalations are answered by the student model.
+            if isinstance(module.inner, CascadeModule):
+                module.inner.teacher = wrap(module.inner.teacher)
+            else:
+                module.inner = wrap(module.inner)
             return module
         if isinstance(module, EnrichModule) and isinstance(module.stage, Module):
             module.stage = wrap(module.stage)
+            return module
+        if isinstance(module, CascadeModule):
+            module.teacher = wrap(module.teacher)
             return module
         return wrap(module)
 

@@ -102,6 +102,18 @@ class PipelineBuilder:
         """Append a custom (user-code) operator."""
         return self.add(OperatorKind.CUSTOM, **params)
 
+    def dedup_candidates(self, **params: Any) -> "PipelineBuilder":
+        """Append a duplicate-candidate generation operator (digest + LSH)."""
+        return self.add(OperatorKind.DEDUP_CANDIDATES, **params)
+
+    def quality_filter(self, **params: Any) -> "PipelineBuilder":
+        """Append a document-quality cascade operator."""
+        return self.add(OperatorKind.QUALITY_FILTER, **params)
+
+    def decontaminate(self, **params: Any) -> "PipelineBuilder":
+        """Append a benchmark-decontamination cascade operator."""
+        return self.add(OperatorKind.DECONTAMINATE, **params)
+
     def build(self) -> Pipeline:
         """Validate and return the pipeline."""
         self._pipeline.validate()

@@ -34,11 +34,15 @@ class OperatorKind:
     SCHEMA_MATCH = "schema_match"
     SUMMARIZE = "summarize"
     CUSTOM = "custom"
+    DEDUP_CANDIDATES = "dedup_candidates"
+    QUALITY_FILTER = "quality_filter"
+    DECONTAMINATE = "decontaminate"
 
     ALL = (
         LOAD, SAVE, MATCH_ENTITIES, IMPUTE, TOKENIZE, NOUN_PHRASES, TAG_NAMES,
         DETECT_LANGUAGE, EXTRACT_NAMES, CLASSIFY, DEDUPE, CLEAN_TEXT, FILTER,
-        TRANSFORM, SCHEMA_MATCH, SUMMARIZE, CUSTOM,
+        TRANSFORM, SCHEMA_MATCH, SUMMARIZE, CUSTOM, DEDUP_CANDIDATES,
+        QUALITY_FILTER, DECONTAMINATE,
     )
 
 
@@ -61,6 +65,15 @@ OPERATOR_CATALOGUE: dict[str, str] = {
     OperatorKind.SCHEMA_MATCH: "Match columns between two schemas",
     OperatorKind.SUMMARIZE: "Summarise a text",
     OperatorKind.CUSTOM: "A user-provided operator",
+    OperatorKind.DEDUP_CANDIDATES: (
+        "Generate candidate duplicate pairs via exact digests and MinHash/LSH"
+    ),
+    OperatorKind.QUALITY_FILTER: (
+        "Judge document quality via a rule/LLM classifier cascade"
+    ),
+    OperatorKind.DECONTAMINATE: (
+        "Flag documents that leak held-out benchmark items"
+    ),
 }
 
 

@@ -8,6 +8,7 @@ from repro.core.modules.base import (
     QuarantinedRecord,
 )
 from repro.core.modules.batch_llm import BatchLLMModule
+from repro.core.modules.cascade import CascadeModule
 from repro.core.modules.custom import CustomModule
 from repro.core.modules.decorated import DecoratedModule, RouterModule, SequentialModule
 from repro.core.modules.llm_module import (
@@ -30,6 +31,7 @@ from repro.core.modules.validation import (
 
 __all__ = [
     "BatchLLMModule",
+    "CascadeModule",
     "ErrorPolicy",
     "Module",
     "ModuleExecutionError",

@@ -22,6 +22,11 @@ class Template:
     description: str
     keywords: tuple[str, ...]
     build: Callable[..., Pipeline] = field(compare=False)
+    #: Minimal kwargs that make a stand-alone ``instantiate`` meaningful,
+    #: for templates with required parameters (e.g. decontamination's
+    #: ``eval_items``).  Demo/validation use only — callers must still
+    #: pass their real values; ``instantiate`` never merges these in.
+    sample_args: dict = field(default_factory=dict, compare=False)
 
     def instantiate(self, **overrides: Any) -> Pipeline:
         """Build the pipeline, forwarding any overrides to the factory."""
@@ -204,6 +209,151 @@ def _data_cleaning_template() -> Pipeline:
     )
 
 
+def _document_dedup_template(
+    mode: str = "docs",
+    examples: list[tuple[Any, bool]] | None = None,
+    instructions: str = "",
+    error_policy: str | None = None,
+    num_perm: int | None = None,
+    bands: int | None = None,
+    rows: int | None = None,
+    shingle_n: int | None = None,
+    dual: bool = True,
+) -> Pipeline:
+    """Corpus deduplication: candidate generation + LLM pair verification.
+
+    ``mode="docs"`` takes raw documents and runs the full flow — exact
+    digests plus dual-pass MinHash/LSH candidate generation, then the LLM
+    verifier over candidate pairs.  ``mode="pairs"`` takes pre-generated
+    candidate pair records and runs only the verifier — the streaming shape
+    (candidate generation is a whole-corpus kernel; the verifier map is the
+    chunk-capable core ``run_stream`` shards).
+    """
+    from repro.core.compiler.curation import DEDUP_VERIFY_TASK
+
+    if mode not in ("docs", "pairs"):
+        raise ValueError(f"mode must be 'docs' or 'pairs', got {mode!r}")
+    builder = PipelineBuilder(
+        "document_dedup_template",
+        description="corpus dedup: digest + MinHash/LSH candidates -> LLM verify",
+    )
+    match_params: dict[str, Any] = {"impl": "cascade", "task": DEDUP_VERIFY_TASK}
+    if examples:
+        match_params["examples"] = examples
+    if instructions:
+        match_params["instructions"] = instructions
+    if error_policy:
+        match_params["error_policy"] = error_policy
+    if mode == "pairs":
+        builder.load(source="pairs")
+    else:
+        candidate_params: dict[str, Any] = {"dual": dual}
+        for key, value in (
+            ("num_perm", num_perm), ("bands", bands),
+            ("rows", rows), ("shingle_n", shingle_n),
+        ):
+            if value is not None:
+                candidate_params[key] = value
+        builder.load(source="documents")
+        builder.dedup_candidates(**candidate_params)
+    builder.match_entities(**match_params)
+    builder.save(key="verdicts")
+    return builder.build()
+
+
+def _quality_filter_template(
+    examples: list[tuple[Any, bool]] | None = None,
+    instructions: str = "",
+    error_policy: str | None = None,
+    rule_lower: float | None = None,
+    rule_upper: float | None = None,
+    distill: bool = False,
+    distill_config: dict[str, Any] | None = None,
+) -> Pipeline:
+    """Quality filtering as a classifier cascade (rules -> student -> LLM).
+
+    The free surface heuristic answers documents outside its uncertainty
+    band; the band escalates to the LLM teacher.  ``distill=True`` slots
+    the optimizer's distillation router *between* the rules and the
+    teacher, so escalations are progressively absorbed by a shadow-trained
+    local classifier over the document text.
+    """
+    builder = PipelineBuilder(
+        "quality_filter_template",
+        description="corpus quality filter: rule cascade with LLM escalation",
+    )
+    params: dict[str, Any] = {"impl": "llm"}
+    if examples:
+        params["examples"] = examples
+    if instructions:
+        params["instructions"] = instructions
+    if error_policy:
+        params["error_policy"] = error_policy
+    if rule_lower is not None:
+        params["rule_lower"] = rule_lower
+    if rule_upper is not None:
+        params["rule_upper"] = rule_upper
+    if distill:
+        params["distill"] = True
+        config = dict(distill_config or {})
+        # The student reads the document text, not the record repr.
+        config.setdefault(
+            "featurize",
+            lambda doc: str(doc.get("text", doc)) if isinstance(doc, dict) else str(doc),
+        )
+        config.setdefault("min_samples", 40)
+        config.setdefault("accuracy_bar", 0.85)
+        config.setdefault("confidence_threshold", 0.9)
+        config.setdefault("refit_every", 20)
+        params["distill_config"] = config
+    return (
+        builder.load(source="documents")
+        .quality_filter(**params)
+        .save(key="documents")
+        .build()
+    )
+
+
+def _decontamination_template(
+    eval_items: list[str] | None = None,
+    examples: list[tuple[Any, str, bool]] | None = None,
+    instructions: str = "",
+    error_policy: str | None = None,
+    hard_n: int | None = None,
+    soft_n: int | None = None,
+) -> Pipeline:
+    """Benchmark decontamination: two-tier n-gram scan + LLM adjudication.
+
+    ``eval_items`` (required) are the held-out benchmark sentences.  A
+    verbatim *hard* n-gram hit flags the document for free; no *soft* hit
+    clears it for free; the soft-only gray zone is adjudicated by the LLM
+    against the specific eval item the scan attributed the overlap to.
+    """
+    if not eval_items:
+        raise ValueError("decontamination template requires eval_items")
+    builder = PipelineBuilder(
+        "decontamination_template",
+        description="decontamination: n-gram scan cascade with LLM adjudication",
+    )
+    params: dict[str, Any] = {"impl": "llm", "eval_items": list(eval_items)}
+    if examples:
+        params["examples"] = examples
+    if instructions:
+        params["instructions"] = instructions
+    if error_policy:
+        params["error_policy"] = error_policy
+    if hard_n is not None:
+        params["hard_n"] = hard_n
+    if soft_n is not None:
+        params["soft_n"] = soft_n
+    return (
+        builder.load(source="documents")
+        .decontaminate(**params)
+        .save(key="documents")
+        .build()
+    )
+
+
 # ---------------------------------------------------------------------------
 # Default validator cases (the "few example test cases" of section 3.2)
 # ---------------------------------------------------------------------------
@@ -320,6 +470,46 @@ _TEMPLATES: dict[str, Template] = {
             description="Normalise messy text values and drop duplicates.",
             keywords=("clean", "cleaning", "normalise", "normalize", "dedupe", "messy"),
             build=_data_cleaning_template,
+        ),
+        Template(
+            name="document_dedup",
+            description=(
+                "Remove duplicate documents from a training corpus "
+                "(exact hashes, MinHash/LSH near-duplicate candidates, "
+                "LLM pair verification)."
+            ),
+            keywords=(
+                "corpus", "dedup", "deduplication", "duplicate", "documents",
+                "minhash", "lsh", "near-duplicate", "fuzzy",
+            ),
+            build=_document_dedup_template,
+        ),
+        Template(
+            name="quality_filter",
+            description=(
+                "Filter a training corpus down to high-quality documents "
+                "(heuristic rules with LLM escalation for the gray zone)."
+            ),
+            keywords=(
+                "quality", "filter", "filtering", "corpus", "documents",
+                "junk", "boilerplate", "cascade",
+            ),
+            build=_quality_filter_template,
+        ),
+        Template(
+            name="decontamination",
+            description=(
+                "Find documents that leak held-out benchmark items into a "
+                "training corpus (n-gram scan plus LLM adjudication)."
+            ),
+            keywords=(
+                "decontamination", "decontaminate", "contamination",
+                "benchmark", "leak", "eval", "overlap", "ngram",
+            ),
+            build=_decontamination_template,
+            sample_args={
+                "eval_items": ["which brewery released the sample batch?"]
+            },
         ),
     )
 }

@@ -1,5 +1,10 @@
 """Seeded synthetic datasets standing in for the paper's benchmark data."""
 
+from repro.datasets.curation import (
+    CurationCorpus,
+    CurationDoc,
+    CurationEvalSet,
+)
 from repro.datasets.entity_resolution import (
     ER_DATASET_NAMES,
     ERDataset,
@@ -19,6 +24,9 @@ from repro.datasets.names import (
 from repro.datasets.streaming import StreamingERCorpus
 
 __all__ = [
+    "CurationCorpus",
+    "CurationDoc",
+    "CurationEvalSet",
     "ER_DATASET_NAMES",
     "ERDataset",
     "RecordPair",

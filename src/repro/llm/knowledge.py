@@ -54,6 +54,9 @@ class KnowledgeBase:
         — the multilingual degradation of paper section 4.2.
     match_noise:
         Base error rate for borderline entity-match judgements.
+    curation_noise:
+        Base error rate for borderline corpus-curation judgements (document
+        quality, contamination adjudication).
     seed_tag:
         Folded into every stochastic decision so distinct experiment
         configurations can decorrelate their noise.
@@ -64,6 +67,7 @@ class KnowledgeBase:
     name_noise_native: float = 0.04
     name_noise_foreign: float = 0.35
     match_noise: float = 0.04
+    curation_noise: float = 0.05
     seed_tag: str = "kb-v1"
     _memo: dict = field(default_factory=dict, repr=False)
 
@@ -148,3 +152,20 @@ class KnowledgeBase:
         hardness = max(0.0, 1.0 - margin * 4.0)
         p_flip = min(0.95, self.match_noise * (0.4 + hardness) + extra_noise * hardness)
         return stable_unit(self.seed_tag, "match", pair_key) < p_flip
+
+    # -- corpus curation --------------------------------------------------------
+
+    def judgement_flip(
+        self, kind: str, key: str, margin: float, extra_noise: float = 0.0
+    ) -> bool:
+        """Whether the model flips a generic borderline yes/no judgement.
+
+        Same error model as :meth:`match_flip` but keyed by judgement
+        ``kind`` (``"quality"``, ``"contamination"``, ...) so the curation
+        skills decorrelate from entity matching and from each other.
+        """
+        hardness = max(0.0, 1.0 - margin * 4.0)
+        p_flip = min(
+            0.95, self.curation_noise * (0.4 + hardness) + extra_noise * hardness
+        )
+        return stable_unit(self.seed_tag, "judgement", kind, key) < p_flip

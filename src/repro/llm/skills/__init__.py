@@ -3,6 +3,12 @@
 from repro.llm.skills.base import Skill, count_examples, extract_json_field, extract_text_field
 from repro.llm.skills.batch_matching import BatchEntityMatchingSkill
 from repro.llm.skills.codegen_skill import CodeGenerationSkill, CodeSuggestionSkill
+from repro.llm.skills.curation import (
+    ContaminationJudgmentSkill,
+    QualityJudgmentSkill,
+    containment_score,
+    knowledge_quality_score,
+)
 from repro.llm.skills.entity_matching import EntityMatchingSkill, match_score
 from repro.llm.skills.imputation import ImputationSkill
 from repro.llm.skills.langdetect import LanguageDetectionSkill
@@ -28,6 +34,8 @@ def default_skills() -> list[Skill]:
         CodeGenerationSkill(),
         BatchEntityMatchingSkill(),
         EntityMatchingSkill(),
+        QualityJudgmentSkill(),
+        ContaminationJudgmentSkill(),
         ImputationSkill(),
         TaggingSkill(),
         LanguageDetectionSkill(),
@@ -50,6 +58,10 @@ __all__ = [
     "BatchEntityMatchingSkill",
     "EntityMatchingSkill",
     "match_score",
+    "QualityJudgmentSkill",
+    "ContaminationJudgmentSkill",
+    "knowledge_quality_score",
+    "containment_score",
     "ImputationSkill",
     "LanguageDetectionSkill",
     "ChatFallbackSkill",

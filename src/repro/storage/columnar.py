@@ -47,6 +47,8 @@ __all__ = [
     "resolve_columnar",
     "spill_encode",
     "spill_decode",
+    "minhash_signatures_many",
+    "band_keys_many",
 ]
 
 
@@ -425,3 +427,66 @@ def spill_decode(value: Any) -> Any:
     if isinstance(value, Mapping) and value.get(_BLOCK_MARKER) == 1:
         return ColumnarBlock.from_payload(value)
     return value
+
+
+# ---------------------------------------------------------------------------
+# MinHash / LSH kernels (vectorized counterparts of repro.text.minhash)
+# ---------------------------------------------------------------------------
+
+# Shingle ids and the multipliers both live below 2**31, so a*x + b stays
+# under 2**62: uint64 arithmetic computes the exact residue and the kernels
+# below are *bitwise* equal to the scalar oracles, not approximately so.
+_MINHASH_PRIME = np.uint64((1 << 31) - 1)
+
+
+def minhash_signatures_many(
+    id_rows: Sequence[Sequence[int]], a: Sequence[int], b: Sequence[int]
+) -> np.ndarray:
+    """MinHash signatures for a batch of shingle-id sets.
+
+    ``a``/``b`` come from :func:`repro.text.minhash.minhash_params`.  Returns
+    an ``(n_docs, num_perm)`` ``uint64`` array; empty rows get the all-
+    ``EMPTY_SLOT`` (= prime) sentinel, matching the scalar oracle.
+    """
+    num_perm = len(a)
+    a_arr = np.asarray(a, dtype=np.uint64)
+    b_arr = np.asarray(b, dtype=np.uint64)
+    out = np.full((len(id_rows), num_perm), _MINHASH_PRIME, dtype=np.uint64)
+    for row_index, ids in enumerate(id_rows):
+        if not len(ids):
+            continue
+        x = np.asarray(ids, dtype=np.uint64)
+        # (n_ids, num_perm) residue table; min over the id axis.
+        hashed = (x[:, None] * a_arr[None, :] + b_arr[None, :]) % _MINHASH_PRIME
+        out[row_index] = hashed.min(axis=0)
+    return out
+
+
+def band_keys_many(signatures: np.ndarray, bands: int, rows: int) -> list[list[str]]:
+    """LSH band keys per signature row, bitwise-equal to the scalar path.
+
+    The digest input is the 4-byte little-endian band index followed by the
+    band's values packed ``<u4`` — exactly the :func:`repro.text.minhash.band_key`
+    layout — so candidate buckets agree between modes.
+    """
+    import hashlib
+    import struct
+
+    if signatures.ndim != 2 or signatures.shape[1] != bands * rows:
+        raise ValueError(
+            f"signatures must be (n, {bands * rows}), got {signatures.shape}"
+        )
+    packed = signatures.astype("<u4")
+    prefixes = [struct.pack("<I", i) for i in range(bands)]
+    keys: list[list[str]] = []
+    for row in packed:
+        keys.append(
+            [
+                hashlib.blake2b(
+                    prefixes[i] + row[i * rows : (i + 1) * rows].tobytes(),
+                    digest_size=8,
+                ).hexdigest()
+                for i in range(bands)
+            ]
+        )
+    return keys

@@ -11,6 +11,14 @@ from repro.tasks.profiling import (
     profile_table,
     summarize_table,
 )
+from repro.tasks.curation import (
+    CurationResult,
+    iter_dedup_candidate_ids,
+    iter_dedup_candidates,
+    run_decontamination,
+    run_dedup,
+    run_quality_filter,
+)
 from repro.tasks.entity_resolution import (
     ERResult,
     pairs_as_inputs,
@@ -39,6 +47,12 @@ __all__ = [
     "detect_anomalies",
     "profile_table",
     "summarize_table",
+    "CurationResult",
+    "iter_dedup_candidate_ids",
+    "iter_dedup_candidates",
+    "run_decontamination",
+    "run_dedup",
+    "run_quality_filter",
     "ERResult",
     "pairs_as_inputs",
     "pick_examples",

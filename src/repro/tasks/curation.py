@@ -1,0 +1,501 @@
+"""Corpus-curation tasks: deduplication, quality filtering, decontamination.
+
+Packages the three curation templates the way
+:mod:`repro.tasks.entity_resolution` packages ER: instantiate the template
+with corpus-derived few-shot examples, run it through
+:meth:`~repro.core.runtime.system.LinguaManga.run` (or, out of core,
+:meth:`~repro.core.runtime.system.LinguaManga.run_stream`), score against
+the corpus's planted ground truth and report the cost breakdown.
+
+The streaming dedup path needs candidate pairs *without materialising the
+corpus*: :func:`iter_dedup_candidate_ids` re-implements the in-memory
+kernel :func:`repro.core.compiler.curation.dedup_candidate_pairs` as a
+two-pass external algorithm — band-key postings are spilled to hash
+partitions on disk during a single pass over the document stream, then each
+partition is bucketed independently and the per-partition sorted pair runs
+are merged with :func:`heapq.merge`.  The merged stream is *identical*,
+pair for pair, to the in-memory kernel's output (the property suite locks
+this), while peak memory stays O(batch + one partition's postings)
+regardless of corpus size.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
+
+from repro._util import chunked, stable_hash
+from repro.core.compiler.curation import (
+    DEDUP_BANDS,
+    DEDUP_NUM_PERM,
+    DEDUP_ROWS,
+    DEDUP_SHINGLE_N,
+    dedup_candidate_pairs,
+)
+from repro.core.runtime.system import LinguaManga
+from repro.core.templates.library import get_template
+from repro.datasets.curation import CurationCorpus
+from repro.ml.metrics import f1_score
+from repro.text.minhash import band_keys, minhash_params, minhash_signature
+from repro.text.shingle import (
+    document_digest,
+    knowledge_canonical,
+    shingle_ids,
+    simple_canonical,
+)
+
+__all__ = [
+    "CurationResult",
+    "iter_dedup_candidate_ids",
+    "iter_dedup_candidates",
+    "run_dedup",
+    "run_quality_filter",
+    "run_decontamination",
+]
+
+
+@dataclass(frozen=True)
+class CurationResult:
+    """Outcome of one curation run, scored against planted ground truth.
+
+    ``predictions`` are per-document 0/1 flags in corpus order (duplicate /
+    keep / contaminated depending on the task); the cost fields carry the
+    same cache/distillation breakdown as :class:`repro.tasks.entity_resolution.ERResult`.
+    """
+
+    task: str
+    corpus: str
+    f1: float
+    predictions: list[int]
+    llm_calls: int
+    cost: float
+    cached_calls: int = 0
+    near_hits: int = 0
+    distilled_calls: int = 0
+    #: the underlying RunReport (module stats, quarantine, profile)
+    report: Any = None
+
+
+# ---------------------------------------------------------------------------
+# Memory-flat candidate generation (streaming counterpart of the kernel)
+# ---------------------------------------------------------------------------
+
+
+def _posting_lines(
+    batch: list[Any],
+    params,
+    bands: int,
+    rows: int,
+    shingle_n: int,
+    dual: bool,
+    use_columnar: bool,
+) -> Iterator[tuple[str, Any]]:
+    """``(bucket_key, doc_id)`` postings for one record batch.
+
+    Bucket keys are namespaced per tier (``x:`` digest, ``s:`` simple LSH,
+    ``k:`` knowledge LSH) so buckets never mix across tiers — exactly the
+    separation the in-memory kernel keeps with its per-tier dictionaries.
+    """
+    ids = []
+    texts = []
+    for offset, record in enumerate(batch):
+        if isinstance(record, dict):
+            ids.append(record.get("id", offset))
+            texts.append(str(record.get("text", "")))
+        else:
+            ids.append(offset)
+            texts.append(str(record))
+    for doc_id, text in zip(ids, texts):
+        yield f"x:{document_digest(text)}", doc_id
+    passes = [("s", simple_canonical)]
+    if dual:
+        passes.append(("k", knowledge_canonical))
+    for prefix, canonical in passes:
+        id_rows = [shingle_ids(canonical(text), shingle_n) for text in texts]
+        if use_columnar:
+            from repro.storage.columnar import band_keys_many, minhash_signatures_many
+
+            signatures = minhash_signatures_many(id_rows, params.a, params.b)
+            all_keys = band_keys_many(signatures, bands, rows)
+        else:
+            all_keys = [
+                band_keys(minhash_signature(row, params), bands, rows)
+                for row in id_rows
+            ]
+        for doc_id, keys in zip(ids, all_keys):
+            for key in keys:
+                yield f"{prefix}:{key}", doc_id
+
+
+def iter_dedup_candidate_ids(
+    records: Iterable[Any],
+    *,
+    num_perm: int = DEDUP_NUM_PERM,
+    bands: int = DEDUP_BANDS,
+    rows: int = DEDUP_ROWS,
+    shingle_n: int = DEDUP_SHINGLE_N,
+    dual: bool = True,
+    columnar: bool | None = None,
+    partitions: int = 16,
+    batch_size: int = 256,
+    spill_dir: str | Path | None = None,
+    stats: dict | None = None,
+) -> Iterator[tuple]:
+    """Stream the candidate pairs of ``records`` without materialising them.
+
+    Yields exactly the sorted ``(left_id, right_id)`` sequence of
+    :func:`repro.core.compiler.curation.dedup_candidate_pairs` — same
+    tiers, same kernels, same global order — but consumes ``records`` as a
+    one-shot stream: pass 1 spills ``(bucket_key, doc_id)`` postings into
+    ``partitions`` hash partitions on disk, pass 2 buckets one partition at
+    a time and merges the per-partition sorted pair runs.  Peak memory is
+    O(``batch_size`` documents + one partition's postings), independent of
+    corpus size.
+
+    ``stats`` (optional dict) receives accounting the memory-flatness tests
+    assert on: ``docs``, ``postings``, ``peak_partition_postings``,
+    ``spilled_bytes``.
+    """
+    if bands * rows != num_perm:
+        raise ValueError(f"bands*rows must equal num_perm ({bands}*{rows} != {num_perm})")
+    if partitions <= 0:
+        raise ValueError("partitions must be positive")
+    from repro.storage.columnar import resolve_columnar
+
+    use_columnar = resolve_columnar(columnar)
+    params = minhash_params(num_perm)
+    own_dir = spill_dir is None
+    root = Path(tempfile.mkdtemp(prefix="repro-dedup-")) if own_dir else Path(spill_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    accounting = {"docs": 0, "postings": 0, "peak_partition_postings": 0, "spilled_bytes": 0}
+    try:
+        files = [open(root / f"part-{i:03d}.tsv", "w", encoding="utf-8") for i in range(partitions)]
+        try:
+            for batch in chunked(records, batch_size):
+                accounting["docs"] += len(batch)
+                for key, doc_id in _posting_lines(
+                    batch, params, bands, rows, shingle_n, dual, use_columnar
+                ):
+                    line = f"{key}\t{doc_id}\n"
+                    files[stable_hash("dedup-part", key) % partitions].write(line)
+                    accounting["postings"] += 1
+                    accounting["spilled_bytes"] += len(line)
+        finally:
+            for handle in files:
+                handle.close()
+
+        def partition_pairs(index: int) -> list[tuple]:
+            buckets: dict[str, set] = {}
+            count = 0
+            with open(root / f"part-{index:03d}.tsv", encoding="utf-8") as handle:
+                for line in handle:
+                    key, _, doc_id = line.rstrip("\n").partition("\t")
+                    buckets.setdefault(key, set()).add(doc_id)
+                    count += 1
+            accounting["peak_partition_postings"] = max(
+                accounting["peak_partition_postings"], count
+            )
+            pairs: set[tuple] = set()
+            for bucket in buckets.values():
+                if len(bucket) < 2:
+                    continue
+                members = sorted(bucket)
+                for i, left in enumerate(members):
+                    for right in members[i + 1 :]:
+                        pairs.add((left, right))
+            return sorted(pairs)
+
+        merged = heapq.merge(*(partition_pairs(i) for i in range(partitions)))
+        for pair, _ in itertools.groupby(merged):
+            yield pair
+    finally:
+        if stats is not None:
+            stats.update(accounting)
+        if own_dir:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+def iter_dedup_candidates(
+    corpus: CurationCorpus,
+    *,
+    fetch: Callable[[Any], dict] | None = None,
+    **kernel: Any,
+) -> Iterator[dict]:
+    """Stream candidate pairs as the ``{"left", "right"}`` records the
+    pairs-mode dedup template consumes.
+
+    ``corpus`` must be index-addressable (``doc(i)``) so pair sides can be
+    re-derived on demand — the stream never holds more than the two
+    documents of the current pair (plus the scan's bounded state).  Pass
+    ``fetch`` to override how a document id resolves to a record.
+    """
+    if fetch is None:
+
+        def fetch(doc_id: Any) -> dict:
+            return corpus.doc(int(str(doc_id)[1:])).record()
+
+    for left_id, right_id in iter_dedup_candidate_ids(corpus.inputs(), **kernel):
+        yield {"left": fetch(left_id), "right": fetch(right_id)}
+
+
+# ---------------------------------------------------------------------------
+# Task runners
+# ---------------------------------------------------------------------------
+
+
+def _usage_delta(before, after) -> dict:
+    return {
+        "llm_calls": after.served_calls - before.served_calls,
+        "cost": after.cost - before.cost,
+        "cached_calls": after.cached_calls - before.cached_calls,
+        "near_hits": after.near_hits - before.near_hits,
+        "distilled_calls": after.distilled_calls - before.distilled_calls,
+    }
+
+
+def _report_usage(report) -> dict:
+    """Usage of a streamed run, read off the report's cost snapshot.
+
+    ``run_stream`` accounts provider work on the report rather than the
+    service-level counters (workers pay the provider; the canonical replay
+    is served from the rewarmed cache), so the system-usage delta a batch
+    run exposes reads zero here.  ``served_calls`` equals the number of
+    LLM-adjudicated items — the same figure the batch path reports.
+    """
+    cost = report.cost
+    return {
+        "llm_calls": cost.served_calls,
+        "cost": cost.cost,
+        "cached_calls": cost.cached_calls,
+        "near_hits": cost.near_hits,
+        "distilled_calls": cost.distilled_calls,
+    }
+
+
+def run_dedup(
+    system: LinguaManga,
+    corpus: CurationCorpus,
+    n_examples: int = 4,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    stream: bool = False,
+    checkpoint_path: Any = None,
+    ledger_path: Any = None,
+    resume: bool = True,
+    columnar: bool | None = None,
+    autotune: bool = False,
+    num_perm: int = DEDUP_NUM_PERM,
+    bands: int = DEDUP_BANDS,
+    rows: int = DEDUP_ROWS,
+    shingle_n: int = DEDUP_SHINGLE_N,
+    dual: bool = True,
+) -> CurationResult:
+    """Deduplicate ``corpus`` and score duplicate detection per document.
+
+    ``stream=False`` runs the docs-mode template (whole-corpus candidate
+    kernel inside the pipeline); ``stream=True`` generates candidates with
+    the memory-flat external scan and streams the pair records through the
+    pairs-mode template's verifier core — same verdicts, bounded memory.
+    A document is flagged duplicate when any verified pair links it to a
+    lower-id partner (the cluster canonical keeps its place).
+    """
+    kernel = dict(num_perm=num_perm, bands=bands, rows=rows, shingle_n=shingle_n, dual=dual)
+    examples = corpus.dedup_examples(n_examples)
+    before = system.usage()
+    if stream:
+        pipeline = get_template("document_dedup").instantiate(
+            mode="pairs", examples=examples
+        )
+        report = system.run_stream(
+            pipeline,
+            {"pairs": iter_dedup_candidates(corpus, columnar=columnar, **kernel)},
+            workers=workers,
+            chunk_size=chunk_size,
+            ledger_path=ledger_path,
+            resume=resume,
+            source_id=f"{corpus.fingerprint}|dedup-pairs",
+            autotune=autotune,
+        )
+        pair_ids = list(iter_dedup_candidate_ids(corpus.inputs(), columnar=columnar, **kernel))
+    else:
+        pipeline = get_template("document_dedup").instantiate(
+            mode="docs", examples=examples, **kernel
+        )
+        records = [doc.record() for doc in corpus]
+        report = system.run(
+            pipeline,
+            {"documents": records},
+            workers=workers,
+            chunk_size=chunk_size,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
+            columnar=columnar,
+            autotune=autotune,
+        )
+        pair_ids = dedup_candidate_pairs(records, columnar=columnar, **kernel)
+    usage = _report_usage(report) if stream else _usage_delta(before, system.usage())
+    verdicts = next(iter(report.outputs.values()))
+    if len(verdicts) != len(pair_ids):
+        raise RuntimeError(
+            f"verifier returned {len(verdicts)} verdicts for {len(pair_ids)} pairs"
+        )
+    duplicates = {max(a, b) for (a, b), verdict in zip(pair_ids, verdicts) if verdict}
+    labels = []
+    predictions = []
+    for doc in corpus:
+        labels.append(int(doc.is_duplicate))
+        predictions.append(int(doc.doc_id in duplicates))
+    return CurationResult(
+        task="document_dedup",
+        corpus=corpus.fingerprint,
+        f1=f1_score(labels, predictions),
+        predictions=predictions,
+        report=report,
+        **usage,
+    )
+
+
+def _run_doc_flag_task(
+    system: LinguaManga,
+    corpus: CurationCorpus,
+    template: str,
+    template_kwargs: dict,
+    out_key: str,
+    label_of: Callable[[Any], bool],
+    *,
+    workers: int | None,
+    chunk_size: int | None,
+    stream: bool,
+    checkpoint_path: Any,
+    ledger_path: Any,
+    resume: bool,
+    columnar: bool | None,
+    autotune: bool,
+    source_tag: str,
+) -> tuple[dict, list[int], list[int], Any]:
+    """Shared run/score plumbing of the two per-document flag tasks."""
+    pipeline = get_template(template).instantiate(**template_kwargs)
+    before = system.usage()
+    if stream:
+        report = system.run_stream(
+            pipeline,
+            {"documents": corpus.inputs()},
+            workers=workers,
+            chunk_size=chunk_size,
+            ledger_path=ledger_path,
+            resume=resume,
+            source_id=f"{corpus.fingerprint}|{source_tag}",
+            autotune=autotune,
+        )
+    else:
+        report = system.run(
+            pipeline,
+            {"documents": [doc.record() for doc in corpus]},
+            workers=workers,
+            chunk_size=chunk_size,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
+            columnar=columnar,
+            autotune=autotune,
+        )
+    usage = _report_usage(report) if stream else _usage_delta(before, system.usage())
+    output = next(iter(report.outputs.values()))
+    predictions = [int(bool(item[out_key])) for item in output]
+    labels = [int(label_of(doc)) for doc in corpus]
+    return usage, labels, predictions, report
+
+
+def run_quality_filter(
+    system: LinguaManga,
+    corpus: CurationCorpus,
+    n_examples: int = 4,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    stream: bool = False,
+    checkpoint_path: Any = None,
+    ledger_path: Any = None,
+    resume: bool = True,
+    columnar: bool | None = None,
+    autotune: bool = False,
+    distill: bool = False,
+    distill_config: dict | None = None,
+) -> CurationResult:
+    """Run the quality-filter cascade over ``corpus``, score keep/drop F1."""
+    delta, labels, predictions, report = _run_doc_flag_task(
+        system,
+        corpus,
+        "quality_filter",
+        {
+            "examples": corpus.quality_examples(n_examples),
+            "distill": distill,
+            "distill_config": distill_config,
+        },
+        "keep",
+        lambda doc: doc.keep,
+        workers=workers,
+        chunk_size=chunk_size,
+        stream=stream,
+        checkpoint_path=checkpoint_path,
+        ledger_path=ledger_path,
+        resume=resume,
+        columnar=columnar,
+        autotune=autotune,
+        source_tag="quality",
+    )
+    return CurationResult(
+        task="quality_filter",
+        corpus=corpus.fingerprint,
+        f1=f1_score(labels, predictions),
+        predictions=predictions,
+        report=report,
+        **delta,
+    )
+
+
+def run_decontamination(
+    system: LinguaManga,
+    corpus: CurationCorpus,
+    n_examples: int = 4,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    stream: bool = False,
+    checkpoint_path: Any = None,
+    ledger_path: Any = None,
+    resume: bool = True,
+    columnar: bool | None = None,
+    autotune: bool = False,
+) -> CurationResult:
+    """Scan ``corpus`` against its held-out eval set, score contamination F1."""
+    delta, labels, predictions, report = _run_doc_flag_task(
+        system,
+        corpus,
+        "decontamination",
+        {
+            "eval_items": list(corpus.eval_set.items()),
+            "examples": corpus.decontamination_examples(n_examples),
+        },
+        "contaminated",
+        lambda doc: doc.contaminated,
+        workers=workers,
+        chunk_size=chunk_size,
+        stream=stream,
+        checkpoint_path=checkpoint_path,
+        ledger_path=ledger_path,
+        resume=resume,
+        columnar=columnar,
+        autotune=autotune,
+        source_tag="decontam",
+    )
+    return CurationResult(
+        task="decontamination",
+        corpus=corpus.fingerprint,
+        f1=f1_score(labels, predictions),
+        predictions=predictions,
+        report=report,
+        **delta,
+    )

@@ -168,7 +168,9 @@ class TestSimulatorAttachment:
 class TestTemplates:
     def test_all_templates_instantiate_and_validate(self):
         for template in available_templates():
-            pipeline = template.instantiate()
+            # sample_args supplies the minimal required parameters for
+            # templates that have them (e.g. decontamination's eval_items).
+            pipeline = template.instantiate(**template.sample_args)
             pipeline.validate()
 
     def test_search_finds_er(self):
